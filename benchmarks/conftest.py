@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper
+and prints it, so ``pytest benchmarks/ --benchmark-only`` reproduces
+the whole evaluation section at the configured scale.
+
+Scale: benches default to the ``smoke`` scale (b11 + b12, reduced ATPG
+budgets — minutes, exercising every code path). Set ``REPRO_SCALE=
+default`` (all circuits but b18) or ``REPRO_SCALE=full`` for the
+complete sweeps; see DESIGN.md §6.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import SCALES, resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    if "REPRO_SCALE" not in os.environ \
+            and os.environ.get("REPRO_FULL_SCALE") != "1":
+        chosen = SCALES["smoke"]
+    else:
+        chosen = resolve_scale()
+    print(f"\n[benchmarks running at scale={chosen.name}; "
+          f"set REPRO_SCALE=default|full for larger sweeps]")
+    return chosen
+
+
+@pytest.fixture
+def echo(capsys):
+    """Print through the capture manager so regenerated tables land in
+    the terminal (and in bench_output.txt) even for passing tests."""
+    def _echo(*parts):
+        with capsys.disabled():
+            print(*parts)
+    return _echo

@@ -1,0 +1,152 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes ONE ingredient of the proposed method and
+re-measures, quantifying what that ingredient buys:
+
+* **ordering** — larger-TSV-set-first vs [4]'s inbound-first,
+* **accurate wire model** — ours with wire terms zeroed (still with
+  repair) vs full ours: how much of the no-violation result is the
+  model vs the ECO loop,
+* **sign-off repair** — ours without the ECO loop: how far the purely
+  predictive layer gets,
+* **d_th** — distance threshold off: routing-driven sharing radius.
+"""
+
+from dataclasses import replace
+
+from repro.core.flow import run_wcm_flow
+from repro.experiments.common import (
+    dies_for_scale,
+    method_config,
+    prepare_die,
+    run_method,
+)
+from repro.util.tables import AsciiTable
+
+
+def _tight_config(prepared, scale):
+    _area, tight = prepared.scenarios()
+    return method_config("ours", tight, scale), tight
+
+
+def test_bench_ablation_ordering(benchmark, scale, echo):
+    def run():
+        rows = []
+        for circuit, die_index in dies_for_scale(scale):
+            prepared = prepare_die(circuit, die_index)
+            config, _tight = _tight_config(prepared, scale)
+            by_size = run_method(prepared, config)
+            fixed = run_method(prepared, replace(config,
+                                                 order_by_set_size=False))
+            rows.append((f"{circuit}_d{die_index}", by_size, fixed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(["die", "larger-first r/a", "inbound-first r/a"],
+                       title="\nAblation: TSV-set processing order "
+                             "(ours, tight)")
+    for name, by_size, fixed in rows:
+        table.add_row([
+            name,
+            f"{by_size.reused_scan_ffs}/{by_size.additional_wrapper_cells}",
+            f"{fixed.reused_scan_ffs}/{fixed.additional_wrapper_cells}",
+        ])
+    echo(table.render())
+    assert rows
+
+
+def test_bench_ablation_wire_model(benchmark, scale, echo):
+    def run():
+        rows = []
+        for circuit, die_index in dies_for_scale(scale):
+            prepared = prepare_die(circuit, die_index)
+            config, _tight = _tight_config(prepared, scale)
+            full = run_method(prepared, config)
+            no_wire = run_method(prepared,
+                                 replace(config, use_wire_delay=False))
+            rows.append((f"{circuit}_d{die_index}", full, no_wire))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["die", "accurate r/a (viol)", "wire-blind+repair r/a (viol)"],
+        title="\nAblation: wire terms in the reuse model (ours, tight)",
+    )
+    extra_without_wire = 0
+    for name, full, no_wire in rows:
+        table.add_row([
+            name,
+            f"{full.reused_scan_ffs}/{full.additional_wrapper_cells}"
+            f" ({'X' if full.timing_violation else '-'})",
+            f"{no_wire.reused_scan_ffs}/{no_wire.additional_wrapper_cells}"
+            f" ({'X' if no_wire.timing_violation else '-'})",
+        ])
+        extra_without_wire += (no_wire.additional_wrapper_cells
+                               - full.additional_wrapper_cells)
+    echo(table.render())
+    echo(f"\nWithout wire terms the ECO loop must evict its way to "
+          f"closure: {extra_without_wire:+d} additional cells total.")
+    assert rows
+
+
+def test_bench_ablation_repair(benchmark, scale, echo):
+    def run():
+        rows = []
+        for circuit, die_index in dies_for_scale(scale):
+            prepared = prepare_die(circuit, die_index)
+            config, tight = _tight_config(prepared, scale)
+            with_repair = run_method(prepared, config)
+            without = run_wcm_flow(prepared.problem_tight,
+                                   replace(config, signoff_repair=False))
+            rows.append((f"{circuit}_d{die_index}", with_repair, without))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["die", "predict+repair r/a (viol)", "predict only r/a (viol)"],
+        title="\nAblation: the ECO sign-off repair loop (ours, tight)",
+    )
+    residual = 0
+    for name, with_repair, without in rows:
+        table.add_row([
+            name,
+            f"{with_repair.reused_scan_ffs}/"
+            f"{with_repair.additional_wrapper_cells}"
+            f" ({'X' if with_repair.timing_violation else '-'})",
+            f"{without.reused_scan_ffs}/{without.additional_wrapper_cells}"
+            f" ({'X' if without.timing_violation else '-'})",
+        ])
+        residual += int(without.timing_violation)
+    echo(table.render())
+    echo(f"\nPredictive layer alone leaves {residual}/{len(rows)} dies "
+          f"violating (the global arrival fixed point it cannot see).")
+    assert all(not with_repair.timing_violation
+               for _n, with_repair, _w in rows)
+
+
+def test_bench_ablation_dth(benchmark, scale, echo):
+    def run():
+        rows = []
+        for circuit, die_index in dies_for_scale(scale):
+            prepared = prepare_die(circuit, die_index)
+            config, _tight = _tight_config(prepared, scale)
+            bounded = run_method(prepared, config)
+            unbounded = run_method(prepared,
+                                   replace(config, d_th_fraction=None))
+            rows.append((f"{circuit}_d{die_index}", bounded, unbounded))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["die", "d_th=0.8*span r/a", "no d_th r/a"],
+        title="\nAblation: the distance threshold d_th (ours, tight)",
+    )
+    for name, bounded, unbounded in rows:
+        table.add_row([
+            name,
+            f"{bounded.reused_scan_ffs}/{bounded.additional_wrapper_cells}",
+            f"{unbounded.reused_scan_ffs}/"
+            f"{unbounded.additional_wrapper_cells}",
+        ])
+    echo(table.render())
+    assert rows

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 7 (sharing-graph edge expansion)."""
+
+from repro.experiments import run_figure7
+
+
+def test_bench_figure7(benchmark, scale, echo):
+    result = benchmark.pedantic(run_figure7, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    assert result.mean_increase_pct >= 0.0

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrate kernels.
+
+These time the hot loops every experiment leans on (packed fault
+simulation, STA, placement, clique partitioning) on a fixed mid-size
+die, so performance regressions in the substrates are visible
+independently of the table sweeps.
+"""
+
+import pytest
+
+from repro.atpg.engine import AtpgConfig, run_stuck_at_atpg
+from repro.atpg.sim import CompiledCircuit
+from repro.bench.generator import generate_die
+from repro.bench.itc99 import die_profile
+from repro.core.clique import partition_cliques
+from repro.core.config import Scenario, WcmConfig
+from repro.core.graph import build_wcm_graph
+from repro.core.problem import build_problem
+from repro.core.timing_model import ReuseTimingModel
+from repro.dft.scan import stitch_scan_chains
+from repro.dft.testview import build_prebond_test_view
+from repro.dft.wrapper import dedicated_plan, insert_wrappers
+from repro.netlist.core import PortKind
+from repro.place.placer import place_die
+from repro.sta.timer import TimingAnalyzer
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture(scope="module")
+def kernel_die():
+    netlist = generate_die(die_profile("b12", 1), seed=2019)
+    place_die(netlist)
+    stitch_scan_chains(netlist)
+    return netlist
+
+
+@pytest.fixture(scope="module")
+def kernel_problem(kernel_die):
+    return build_problem(kernel_die, already_prepared=True)
+
+
+def test_bench_generate_and_place(benchmark, echo):
+    def build():
+        netlist = generate_die(die_profile("b12", 1), seed=7)
+        place_die(netlist)
+        return netlist
+
+    result = benchmark(build)
+    assert result.gate_count == 397
+
+
+def test_bench_sta(benchmark, kernel_die):
+    timer = TimingAnalyzer(kernel_die)
+    result = benchmark(timer.analyze)
+    assert result.critical_path_ps > 0
+
+
+def test_bench_packed_good_simulation(benchmark, kernel_die):
+    wrapped, _ = insert_wrappers(kernel_die, dedicated_plan(kernel_die))
+    stitch_scan_chains(wrapped, restitch=True)
+    circuit = CompiledCircuit(build_prebond_test_view(wrapped))
+    rng = DeterministicRng(3)
+    mask = (1 << 256) - 1
+    words = [rng.getrandbits(256) for _ in range(circuit.input_count)]
+    values = benchmark(circuit.simulate, words, mask)
+    assert len(values) == circuit.n_nets
+
+
+def test_bench_stuck_at_atpg(benchmark, kernel_die):
+    wrapped, _ = insert_wrappers(kernel_die, dedicated_plan(kernel_die))
+    stitch_scan_chains(wrapped, restitch=True)
+    view = build_prebond_test_view(wrapped)
+    config = AtpgConfig(seed=3, block_width=128, max_random_blocks=6,
+                        podem_fault_limit=200)
+    result = benchmark.pedantic(run_stuck_at_atpg, args=(view, config),
+                                rounds=1, iterations=1)
+    assert result.coverage > 0.9
+
+
+def test_bench_graph_and_clique(benchmark, kernel_problem):
+    config = WcmConfig.agrawal(Scenario.area_optimized())
+    model = ReuseTimingModel(kernel_problem, config)
+
+    def run():
+        graph = build_wcm_graph(kernel_problem, PortKind.TSV_INBOUND,
+                                kernel_problem.scan_ffs, config, model)
+        return partition_cliques(graph, model)
+
+    partition = benchmark(run)
+    assert partition.cliques

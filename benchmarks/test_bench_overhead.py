@@ -1,0 +1,12 @@
+"""Bench: area-overhead analysis (um², beyond the paper's cell counts)."""
+
+from repro.experiments import run_overhead
+
+
+def test_bench_overhead(benchmark, scale, echo):
+    result = benchmark.pedantic(run_overhead, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    assert result.average("ours_overhead") \
+        <= result.average("dedicated_overhead")

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (TSV-set processing order, b12)."""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, scale, echo):
+    result = benchmark.pedantic(run_table1, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    echo(f"larger-set-first no worse: {result.larger_set_no_worse()}")
+    assert len(result.rows) == 4

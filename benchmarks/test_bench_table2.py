@@ -1,0 +1,11 @@
+"""Bench: regenerate Table II (benchmark characteristics)."""
+
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark, scale, echo):
+    result = benchmark.pedantic(run_table2, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    assert result.rows

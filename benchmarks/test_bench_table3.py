@@ -1,0 +1,20 @@
+"""Bench: regenerate Table III (reused FFs / additional cells /
+timing violations — the paper's headline result)."""
+
+from repro.experiments import run_table3
+
+
+def test_bench_table3(benchmark, scale, echo):
+    result = benchmark.pedantic(run_table3, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    ours_violations, _total = result.violation_tally("ours_tight")
+    agrawal_violations, total = result.violation_tally("agrawal_tight")
+    echo(f"\nHeadline shapes: ours violates {ours_violations}/{total} "
+          f"(paper 0/24), Agrawal violates {agrawal_violations}/{total} "
+          f"(paper 20/24)")
+    assert ours_violations == 0
+    assert agrawal_violations > 0
+    assert result.average("ours_area", "additional") \
+        <= result.average("agrawal_area", "additional")

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table IV (fault coverage & pattern counts)."""
+
+from repro.experiments import run_table4
+
+
+def test_bench_table4(benchmark, scale, echo):
+    result = benchmark.pedantic(run_table4, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    ours_cov, _ = result.average("ours", "stuck_at")
+    agrawal_cov, _ = result.average("agrawal", "stuck_at")
+    echo(f"\nHeadline shape: coverage competitive "
+          f"(ours {ours_cov:.4f} vs Agrawal {agrawal_cov:.4f})")
+    assert abs(ours_cov - agrawal_cov) < 0.03

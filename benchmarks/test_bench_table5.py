@@ -1,0 +1,17 @@
+"""Bench: regenerate Table V (with/without overlapped-cone reuse)."""
+
+from repro.experiments import run_table5
+
+
+def test_bench_table5(benchmark, scale, echo):
+    result = benchmark.pedantic(run_table5, args=(scale,),
+                                rounds=1, iterations=1)
+    echo()
+    echo(result.render())
+    no_cov, _ = result.average("no_overlap", "stuck_at")
+    ov_cov, _ = result.average("overlap", "stuck_at")
+    echo(f"\nHeadline shape: overlap costs "
+          f"{100 * (no_cov - ov_cov):+.2f}pp stuck-at coverage "
+          f"(paper: +0.23pp) for "
+          f"{result.average('no_overlap', 'additional') - result.average('overlap', 'additional'):+.2f} cells")
+    assert result.cells

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Pre-bond vs post-bond: closing the known-good-die coverage gap.
+
+Pre-bond, every TSV is either dark (unwrapped) or reached through its
+wrapper; the TSV wires themselves are untestable until bonding. This
+example builds a full b11 stack, measures per-die pre-bond coverage on
+the wrapped dies, then bonds the stack (registered crossings) and
+measures post-bond coverage of the assembled netlist — the measurement
+behind "pre-bond testing provides known good dies, post-bond testing
+checks the assembly".
+
+Run:  python examples/postbond_flow.py
+"""
+
+from repro.atpg import AtpgConfig, run_stuck_at_atpg
+from repro.bench import generate_stack
+from repro.core import Scenario, WcmConfig, build_problem, run_wcm_flow
+from repro.dft import build_prebond_test_view
+from repro.dft.postbond import build_postbond_test_view
+from repro.util.tables import AsciiTable, format_percent
+
+
+def main() -> None:
+    stack = generate_stack("b11", seed=2019)
+    atpg = AtpgConfig(seed=2019, block_width=128, max_random_blocks=8,
+                      podem_fault_limit=300)
+    scenario = Scenario.area_optimized()
+
+    table = AsciiTable(["die", "#TSVs", "wrapper plan",
+                        "pre-bond coverage"],
+                       title="Per-die pre-bond testing (ours)")
+    wrapped_dies = []
+    for index, die in enumerate(stack.dies):
+        problem = build_problem(die)
+        run = run_wcm_flow(problem, WcmConfig.ours(scenario))
+        wrapped_dies.append(run.wrapped_netlist)
+        result = run_stuck_at_atpg(
+            build_prebond_test_view(run.wrapped_netlist), atpg)
+        table.add_row([
+            f"die{index}", die.tsv_count,
+            f"{run.reused_scan_ffs} reused + "
+            f"{run.additional_wrapper_cells} cells",
+            format_percent(result.coverage),
+        ])
+    print(table.render())
+
+    print("\nBonding the stack (registered crossings) ...")
+    view = build_postbond_test_view(stack, wrapped_dies)
+    merged = view.netlist
+    print(f"  assembled netlist: {merged.gate_count} gates, "
+          f"{len(merged.flip_flops())} FFs "
+          f"(incl. bond registers), {len(view.x_nets)} endpoints "
+          f"still external")
+    result = run_stuck_at_atpg(view, AtpgConfig(
+        seed=2019, block_width=192, max_random_blocks=14,
+        podem_fault_limit=2500, fault_sample=6000))
+    print(f"  post-bond stack coverage: "
+          f"{format_percent(result.coverage)} "
+          f"({result.detected}/{result.total_faults} sampled faults)")
+    print("\nThe bonded TSV paths — dark pre-bond — are now inside the")
+    print("fault universe and covered through the bond registers.")
+    print("(Post-bond runs in functional mode, so wrapper isolation is")
+    print("off and propagation is genuinely harder — the residue is")
+    print("random-resistant faults under this example's small budget.)")
+
+
+if __name__ == "__main__":
+    main()

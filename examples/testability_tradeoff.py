@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Sweep the testability thresholds cov_th / p_th (paper Section IV-B).
+
+The paper's method trades area against testability: loosening the
+allowed per-sharing coverage drop (cov_th) and pattern increase (p_th)
+admits more overlapped-cone FF reuse — more sharing-graph edges, fewer
+additional wrapper cells — at a measurable fault-coverage cost. This
+example quantifies that trade on one die with the real ATPG.
+
+Run:  python examples/testability_tradeoff.py
+"""
+
+from dataclasses import replace
+
+from repro.atpg import AtpgConfig
+from repro.bench import die_profile, generate_die
+from repro.core import Scenario, WcmConfig, build_problem, run_wcm_flow
+from repro.core.flow import measure_testability
+from repro.core.problem import tight_clock_for
+from repro.util.tables import AsciiTable, format_percent
+
+
+def main() -> None:
+    netlist = generate_die(die_profile("b12", 1), seed=2019)
+    problem = build_problem(netlist)
+    clock = tight_clock_for(problem)
+    problem_t = problem.retime(clock)
+    scenario = Scenario.performance_optimized(clock.period_ps)
+    atpg = AtpgConfig(seed=2019, block_width=128, max_random_blocks=10,
+                      podem_fault_limit=600)
+
+    table = AsciiTable(
+        ["cov_th", "p_th", "graph edges", "#reused", "#additional",
+         "stuck-at coverage", "#patterns"],
+        title="Testability-threshold sweep (ours, tight timing)",
+    )
+    settings = [
+        (0.0, 0, "no overlap at all"),
+        (0.002, 4, None),
+        (0.005, 10, "paper's setting"),
+        (0.02, 40, None),
+    ]
+    for cov_th, p_th, note in settings:
+        base = WcmConfig.ours(scenario)
+        if cov_th == 0.0:
+            config = base.without_overlap()
+        else:
+            config = replace(base, cov_th=cov_th, p_th=p_th)
+        run = run_wcm_flow(problem_t, config)
+        report = measure_testability(run, atpg, include_transition=False)
+        label = f"{cov_th:.3f}" + (f" ({note})" if note else "")
+        table.add_row([
+            label, p_th, run.total_graph_edges, run.reused_scan_ffs,
+            run.additional_wrapper_cells,
+            format_percent(report.stuck_at.coverage),
+            report.stuck_at.pattern_count,
+        ])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Sweep the clock margin: how timing pressure shapes wrapper reuse.
+
+Between the paper's two extremes ("no timing" and "very tight") lies a
+whole curve: as the clock period tightens toward the reference critical
+path, the accurate timing model admits fewer reuse/sharing decisions
+and the additional-cell count rises — while the load-only model of [4]
+keeps emitting the same optimistic plan and starts failing sign-off.
+
+Run:  python examples/timing_tradeoff.py
+"""
+
+from repro.bench import die_profile, generate_die
+from repro.core import Scenario, WcmConfig, build_problem, run_wcm_flow
+from repro.util.tables import AsciiTable
+
+
+def main() -> None:
+    netlist = generate_die(die_profile("b12", 2), seed=2019)
+    problem = build_problem(netlist)
+    reference = problem.dedicated_critical_path_ps
+    print(f"{netlist.name}: reference critical path {reference:.0f} ps")
+
+    table = AsciiTable(
+        ["margin", "period (ps)",
+         "ours: reused/additional", "ours viol",
+         "Agrawal: reused/additional", "Agrawal viol"],
+        title="\nClock-margin sweep",
+    )
+    for margin in (0.50, 0.25, 0.12, 0.08, 0.05):
+        period = reference * (1.0 + margin)
+        scenario = Scenario.performance_optimized(period)
+        problem_t = problem.retime(scenario.clock)
+        ours = run_wcm_flow(problem_t, WcmConfig.ours(scenario))
+        agrawal = run_wcm_flow(problem_t, WcmConfig.agrawal(scenario))
+        table.add_row([
+            f"+{margin:.0%}", f"{period:.0f}",
+            f"{ours.reused_scan_ffs}/{ours.additional_wrapper_cells}",
+            "X" if ours.timing_violation else "-",
+            f"{agrawal.reused_scan_ffs}/"
+            f"{agrawal.additional_wrapper_cells}",
+            "X" if agrawal.timing_violation else "-",
+        ])
+    print(table.render())
+    print("\nReading: as margin shrinks, ours trades cells for timing")
+    print("closure; [4] never pays — and fails sign-off instead.")
+
+
+if __name__ == "__main__":
+    main()

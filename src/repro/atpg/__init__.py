@@ -1,0 +1,46 @@
+"""ATPG and fault simulation (commercial-ATPG stand-in).
+
+Components:
+
+* :mod:`repro.atpg.faults` — stuck-at fault universe with structural
+  equivalence collapsing; pre-bond-untestable exclusion.
+* :mod:`repro.atpg.sim` — compiled combinational circuit over a
+  :class:`~repro.dft.testview.TestView`; packed parallel-pattern
+  simulation (one Python big-int per net per block) and event-driven,
+  cone-limited faulty-machine propagation.
+* :mod:`repro.atpg.podem` — PODEM deterministic test generation for
+  random-resistant faults (5-valued D-calculus).
+* :mod:`repro.atpg.engine` — the ATPG flow: random-pattern phase with
+  fault dropping, PODEM top-up, pattern accounting, coverage metrics.
+* :mod:`repro.atpg.transition` — two-pattern transition-fault testing
+  built on the same machinery.
+"""
+
+from repro.atpg.faults import (
+    Fault,
+    FaultKind,
+    FaultList,
+    Polarity,
+    build_fault_list,
+)
+from repro.atpg.sim import CompiledCircuit
+from repro.atpg.engine import AtpgConfig, AtpgResult, run_stuck_at_atpg
+from repro.atpg.transition import run_transition_atpg
+from repro.atpg.podem import PodemGenerator
+from repro.atpg.diagnosis import DiagnosisResult, FaultDiagnoser
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultList",
+    "Polarity",
+    "build_fault_list",
+    "CompiledCircuit",
+    "AtpgConfig",
+    "AtpgResult",
+    "run_stuck_at_atpg",
+    "run_transition_atpg",
+    "PodemGenerator",
+    "DiagnosisResult",
+    "FaultDiagnoser",
+]

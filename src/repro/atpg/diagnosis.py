@@ -1,0 +1,133 @@
+"""Cause-effect fault diagnosis.
+
+Given the observed failing behaviour of a defective die under a known
+pattern set (which patterns failed, and at which observation points),
+rank the stuck-at fault candidates whose simulated signatures best
+explain it. This is the manufacturing-debug companion of ATPG: once
+pre-bond test *fails* a die, diagnosis tells the failure-analysis lab
+where to look.
+
+The scoring is classic cause-effect matching over per-fault simulated
+signatures: a candidate's score combines how much of the observed
+failure it predicts (recall over failing (pattern, observer) pairs) and
+how little it predicts that was NOT observed (precision). Exact-match
+candidates score 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.atpg.engine import _FaultDispatcher, _patterns_to_words
+from repro.atpg.faults import Fault, FaultList, build_fault_list
+from repro.atpg.sim import CompiledCircuit
+from repro.dft.testview import TestView
+from repro.util.errors import AtpgError
+
+#: a failure observation: (pattern index, observed net id)
+Syndrome = FrozenSet[Tuple[int, int]]
+
+
+@dataclass
+class DiagnosisCandidate:
+    fault: Fault
+    score: float
+    predicted_failures: int
+    matched_failures: int
+
+    @property
+    def exact(self) -> bool:
+        return self.score == 1.0
+
+
+@dataclass
+class DiagnosisResult:
+    observed_failures: int
+    candidates: List[DiagnosisCandidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[DiagnosisCandidate]:
+        return self.candidates[0] if self.candidates else None
+
+
+class FaultDiagnoser:
+    """Diagnosis session over one test view and pattern set."""
+
+    def __init__(self, view: TestView, patterns: Sequence[int],
+                 fault_list: Optional[FaultList] = None) -> None:
+        if not patterns:
+            raise AtpgError("diagnosis needs a non-empty pattern set")
+        self.view = view
+        self.circuit = CompiledCircuit(view)
+        self.patterns = list(patterns)
+        self.faults = (fault_list or build_fault_list(view)).faults
+        self.dispatcher = _FaultDispatcher(self.circuit, self.faults)
+        self._mask = (1 << len(self.patterns)) - 1
+        words = _patterns_to_words(self.patterns, self.circuit.input_count)
+        self._good = self.circuit.simulate(words, self._mask)
+
+    # ------------------------------------------------------------------
+    def signature_of(self, fault_index: int) -> Syndrome:
+        """The (pattern, observer) failures fault *fault_index* causes."""
+        circuit, good, mask = self.circuit, self._good, self._mask
+        op = self.dispatcher.ops[fault_index]
+        if op[0] == "s":
+            forced = mask if op[2] else 0
+            if forced == (good[op[1]] & mask):
+                return frozenset()
+            changed = circuit.propagate_values(good, {op[1]: forced}, mask)
+        elif op[0] == "o":
+            forced = mask if op[2] else 0
+            diff = (good[op[1]] ^ forced) & mask
+            return frozenset((k, op[1]) for k in range(len(self.patterns))
+                             if (diff >> k) & 1)
+        else:
+            _tag, gate_index, position, value = op
+            gate = circuit.gates[gate_index]
+            ins = [good[i] for i in gate.ins]
+            ins[position] = mask if value else 0
+            out_word = gate.op(ins, mask)
+            if out_word == good[gate.out]:
+                return frozenset()
+            changed = circuit.propagate_values(good, {gate.out: out_word},
+                                               mask)
+        failures: Set[Tuple[int, int]] = set()
+        for nid, word in changed.items():
+            if nid not in circuit.observed:
+                continue
+            diff = (word ^ good[nid]) & mask
+            while diff:
+                low = (diff & -diff).bit_length() - 1
+                failures.add((low, nid))
+                diff &= diff - 1
+        return frozenset(failures)
+
+    def simulate_defect(self, fault_index: int) -> Syndrome:
+        """What a tester would log for a die carrying this fault."""
+        return self.signature_of(fault_index)
+
+    # ------------------------------------------------------------------
+    def diagnose(self, observed: Syndrome, top: int = 10) -> DiagnosisResult:
+        """Rank fault candidates against the observed syndrome."""
+        if not observed:
+            return DiagnosisResult(observed_failures=0)
+        candidates: List[DiagnosisCandidate] = []
+        for index, fault in enumerate(self.faults):
+            predicted = self.signature_of(index)
+            if not predicted:
+                continue
+            matched = len(predicted & observed)
+            if matched == 0:
+                continue
+            recall = matched / len(observed)
+            precision = matched / len(predicted)
+            score = 2 * recall * precision / (recall + precision)
+            candidates.append(DiagnosisCandidate(
+                fault=fault, score=score,
+                predicted_failures=len(predicted),
+                matched_failures=matched,
+            ))
+        candidates.sort(key=lambda c: (-c.score, c.fault.describe()))
+        return DiagnosisResult(observed_failures=len(observed),
+                               candidates=candidates[:top])

@@ -1,0 +1,610 @@
+"""PODEM deterministic test generation (5-valued D-calculus).
+
+Implements the classic PODEM search: objectives are activated/backtraced
+to primary-input (scan-cell) assignments, implications run forward over
+a per-fault *slice* of the circuit (the fan-in closure of the fault's
+fan-out cone), and the search backtracks through the PI decision stack.
+Good and faulty machines are simulated together in 3-valued logic; a
+discrepancy (D/D̄) reaching an observation net is success.
+
+The slice restriction is what keeps PODEM usable from pure Python: a
+bounded-depth die has slices of a few hundred gates regardless of die
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.atpg.faults import Fault, FaultKind, Polarity
+from repro.atpg.sim import CompiledCircuit
+from repro.util.errors import AtpgError
+
+X = 2  # unknown in 3-valued logic
+
+
+def _and3(vals: Sequence[int]) -> int:
+    out = 1
+    for v in vals:
+        if v == 0:
+            return 0
+        if v == X:
+            out = X
+    return out
+
+
+def _or3(vals: Sequence[int]) -> int:
+    out = 0
+    for v in vals:
+        if v == 1:
+            return 1
+        if v == X:
+            out = X
+    return out
+
+
+def _not3(v: int) -> int:
+    return X if v == X else 1 - v
+
+
+def _xor3(vals: Sequence[int]) -> int:
+    out = 0
+    for v in vals:
+        if v == X:
+            return X
+        out ^= v
+    return out
+
+
+def _eval3(op_name: str, vals: Sequence[int]) -> int:
+    if op_name == "and":
+        return _and3(vals)
+    if op_name == "nand":
+        return _not3(_and3(vals))
+    if op_name == "or":
+        return _or3(vals)
+    if op_name == "nor":
+        return _not3(_or3(vals))
+    if op_name == "inv":
+        return _not3(vals[0])
+    if op_name == "buf":
+        return vals[0]
+    if op_name == "xor":
+        return _xor3(vals)
+    if op_name == "xnor":
+        return _not3(_xor3(vals))
+    if op_name == "mux2":
+        a, b, s = vals
+        if s == 0:
+            return a
+        if s == 1:
+            return b
+        return a if (a == b and a != X) else X
+    if op_name == "aoi21":
+        a1, a2, b = vals
+        return _not3(_or3([_and3([a1, a2]), b]))
+    if op_name == "oai21":
+        a1, a2, b = vals
+        return _not3(_and3([_or3([a1, a2]), b]))
+    raise AtpgError(f"no 3-valued model for {op_name}")
+
+
+#: preferred side-input value that does NOT force the gate's output
+_NONCONTROLLING = {
+    "and": 1, "nand": 1, "or": 0, "nor": 0,
+    "xor": 0, "xnor": 0, "buf": 1, "inv": 1,
+    "mux2": 0, "aoi21": 0, "oai21": 1,
+}
+
+#: whether the path through the gate inverts (backtrace parity)
+_INVERTING = {
+    "and": False, "nand": True, "or": False, "nor": True,
+    "xor": False, "xnor": True, "buf": False, "inv": True,
+    "mux2": False, "aoi21": True, "oai21": True,
+}
+
+
+@dataclass
+class PodemOutcome:
+    """Result of one PODEM run."""
+
+    status: str  # "detected" | "untestable" | "aborted"
+    #: control-net assignments (net id -> 0/1), unassigned = don't-care
+    assignment: Dict[int, int]
+    backtracks: int
+
+
+class PodemGenerator:
+    """PODEM bound to one compiled circuit."""
+
+    def __init__(self, circuit: CompiledCircuit,
+                 backtrack_limit: int = 64) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._control: Set[int] = set(circuit.input_columns)
+        self._slice_cache: Dict[Tuple[str, str, str], Tuple[List[int], bool]] = {}
+        self._cc0, self._cc1 = self._scoap()
+
+    # ------------------------------------------------------------------
+    def _scoap(self) -> Tuple[List[int], List[int]]:
+        """SCOAP combinational 0/1-controllabilities per net."""
+        circuit = self.circuit
+        big = 10 ** 9
+        cc0 = [big] * circuit.n_nets
+        cc1 = [big] * circuit.n_nets
+        for nid in circuit.input_columns:
+            cc0[nid] = cc1[nid] = 1
+        for nid, const in circuit.constant_nets.items():
+            if const:
+                cc1[nid], cc0[nid] = 0, big
+            else:
+                cc0[nid], cc1[nid] = 0, big
+        for nid in circuit.x_net_ids:
+            cc0[nid], cc1[nid] = 0, big  # tied low pre-bond
+
+        def cap(value: int) -> int:
+            return min(value, big)
+
+        for gate in circuit.gates:
+            ins = gate.ins
+            op = gate.op_name
+            z0 = [cc0[i] for i in ins]
+            z1 = [cc1[i] for i in ins]
+            if op in ("and", "nand"):
+                all1 = cap(sum(z1) + 1)
+                any0 = cap(min(z0) + 1)
+                out1, out0 = (any0, all1) if op == "nand" else (all1, any0)
+            elif op in ("or", "nor"):
+                any1 = cap(min(z1) + 1)
+                all0 = cap(sum(z0) + 1)
+                out1, out0 = (all0, any1) if op == "nor" else (any1, all0)
+            elif op == "inv":
+                out1, out0 = cap(z0[0] + 1), cap(z1[0] + 1)
+            elif op == "buf":
+                out1, out0 = cap(z1[0] + 1), cap(z0[0] + 1)
+            elif op in ("xor", "xnor"):
+                a0, b0 = z0[0], z0[1]
+                a1, b1 = z1[0], z1[1]
+                odd = cap(min(a1 + b0, a0 + b1) + 1)
+                even = cap(min(a0 + b0, a1 + b1) + 1)
+                out1, out0 = (even, odd) if op == "xnor" else (odd, even)
+            elif op == "mux2":
+                a0, b0, s0 = z0
+                a1, b1, s1 = z1
+                out1 = cap(min(s0 + a1, s1 + b1) + 1)
+                out0 = cap(min(s0 + a0, s1 + b0) + 1)
+            elif op == "aoi21":
+                a10, a20, b0 = z0
+                a11, a21, b1 = z1
+                out1 = cap(b0 + min(a10, a20) + 1)
+                out0 = cap(min(b1, a11 + a21) + 1)
+            elif op == "oai21":
+                a10, a20, b0 = z0
+                a11, a21, b1 = z1
+                out1 = cap(min(b0, a10 + a20) + 1)
+                out0 = cap(b1 + min(a11, a21) + 1)
+            else:
+                out1 = out0 = big
+            cc0[gate.out] = out0
+            cc1[gate.out] = out1
+        return cc0, cc1
+
+    # ------------------------------------------------------------------
+    def _slice_for(self, fault: Fault) -> Tuple[List[int], bool]:
+        """Gate indices of the fault's slice (topo order) and whether
+        any observation net is reachable."""
+        key = (fault.net, fault.owner, fault.pin)
+        cached = self._slice_cache.get(key)
+        if cached is not None:
+            return cached
+
+        circuit = self.circuit
+        site_net = circuit.net_ids[fault.net]
+
+        # Forward cone.
+        cone_gates: Set[int] = set()
+        frontier = [site_net]
+        seen_nets = {site_net}
+        observes_reachable = site_net in circuit.observed
+        if fault.kind is FaultKind.BRANCH:
+            # Only the one sink gate sees the fault initially.
+            start_gates = [g for g in circuit.gate_users[site_net]
+                           if circuit.gates[g].name == fault.owner]
+        else:
+            start_gates = list(circuit.gate_users[site_net])
+        work = list(start_gates)
+        while work:
+            gi = work.pop()
+            if gi in cone_gates:
+                continue
+            cone_gates.add(gi)
+            out = self.circuit.gates[gi].out
+            if out in circuit.observed:
+                observes_reachable = True
+            if out not in seen_nets:
+                seen_nets.add(out)
+                work.extend(circuit.gate_users[out])
+
+        # Fan-in closure (side inputs must be justifiable).
+        closure: Set[int] = set(cone_gates)
+        work = list(cone_gates)
+        # The site itself must be justifiable too.
+        driver = circuit.gate_of_net.get(site_net)
+        if driver is not None:
+            work.append(driver)
+            closure.add(driver)
+        while work:
+            gi = work.pop()
+            for nid in circuit.gates[gi].ins:
+                drv = circuit.gate_of_net.get(nid)
+                if drv is not None and drv not in closure:
+                    closure.add(drv)
+                    work.append(drv)
+
+        ordered = sorted(closure)
+        result = (ordered, observes_reachable)
+        self._slice_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self, fault: Fault) -> PodemOutcome:
+        """Attempt to generate a test for *fault*."""
+        circuit = self.circuit
+        slice_gates, observable = self._slice_for(fault)
+        if not observable and fault.kind is not FaultKind.OBS_BRANCH:
+            return PodemOutcome("untestable", {}, 0)
+
+        site_net = circuit.net_ids[fault.net]
+        stuck = int(fault.polarity)
+
+        if fault.kind is FaultKind.OBS_BRANCH:
+            # Activation is detection: justify site = ¬stuck.
+            return self.justify(site_net, 1 - stuck, slice_gates)
+
+        branch_gate: Optional[int] = None
+        branch_pos: Optional[int] = None
+        if fault.kind is FaultKind.BRANCH:
+            for gi in circuit.gate_users[site_net]:
+                gate = circuit.gates[gi]
+                if gate.name == fault.owner:
+                    branch_gate = gi
+                    positions = [k for k, nid in enumerate(gate.ins)
+                                 if nid == site_net]
+                    branch_pos = positions[0]
+                    break
+            if branch_gate is None:
+                return PodemOutcome("untestable", {}, 0)
+
+        assignment: Dict[int, int] = {}
+        decisions: List[Tuple[int, int, bool]] = []  # (net, value, flipped)
+        backtracks = 0
+
+        while True:
+            gv, fv = self._imply(slice_gates, assignment, site_net, stuck,
+                                 branch_gate, branch_pos)
+            status = self._check(gv, fv, site_net, stuck)
+            if status == "detected":
+                return PodemOutcome("detected", dict(assignment), backtracks)
+
+            objective = None
+            if status != "conflict":
+                objective = self._objective(gv, fv, site_net, stuck,
+                                            slice_gates, branch_gate,
+                                            branch_pos)
+            if objective is None:
+                # Backtrack.
+                while decisions:
+                    net, value, flipped = decisions.pop()
+                    del assignment[net]
+                    if not flipped:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            return PodemOutcome("aborted", {}, backtracks)
+                        decisions.append((net, 1 - value, True))
+                        assignment[net] = 1 - value
+                        break
+                else:
+                    return PodemOutcome("untestable", {}, backtracks)
+                continue
+
+            pi_net, pi_value = self._backtrace(objective[0], objective[1], gv)
+            if pi_net is None:
+                # No X-path to a control input: treat as conflict.
+                while decisions:
+                    net, value, flipped = decisions.pop()
+                    del assignment[net]
+                    if not flipped:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            return PodemOutcome("aborted", {}, backtracks)
+                        decisions.append((net, 1 - value, True))
+                        assignment[net] = 1 - value
+                        break
+                else:
+                    return PodemOutcome("untestable", {}, backtracks)
+                continue
+
+            decisions.append((pi_net, pi_value, False))
+            assignment[pi_net] = pi_value
+
+    # ------------------------------------------------------------------
+    def justify(self, net_id: int, value: int,
+                slice_gates: Optional[List[int]] = None) -> PodemOutcome:
+        """Justification-only search: make *net_id* take *value*.
+
+        Used for OBS_BRANCH faults and transition-launch conditions.
+        """
+        circuit = self.circuit
+        if slice_gates is None:
+            # Fan-in closure of the net.
+            closure: Set[int] = set()
+            work = []
+            driver = circuit.gate_of_net.get(net_id)
+            if driver is not None:
+                work.append(driver)
+                closure.add(driver)
+            while work:
+                gi = work.pop()
+                for nid in circuit.gates[gi].ins:
+                    drv = circuit.gate_of_net.get(nid)
+                    if drv is not None and drv not in closure:
+                        closure.add(drv)
+                        work.append(drv)
+            slice_gates = sorted(closure)
+
+        assignment: Dict[int, int] = {}
+        decisions: List[Tuple[int, int, bool]] = []
+        backtracks = 0
+        while True:
+            gv, _fv = self._imply(slice_gates, assignment, None, 0, None, None)
+            if gv.get(net_id, X) == value:
+                return PodemOutcome("detected", dict(assignment), backtracks)
+            if gv.get(net_id, X) == 1 - value:
+                objective = None  # conflict
+            else:
+                objective = (net_id, value)
+
+            if objective is not None:
+                pi_net, pi_value = self._backtrace(objective[0], objective[1], gv)
+                if pi_net is not None:
+                    decisions.append((pi_net, pi_value, False))
+                    assignment[pi_net] = pi_value
+                    continue
+
+            while decisions:
+                net, val, flipped = decisions.pop()
+                del assignment[net]
+                if not flipped:
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return PodemOutcome("aborted", {}, backtracks)
+                    decisions.append((net, 1 - val, True))
+                    assignment[net] = 1 - val
+                    break
+            else:
+                return PodemOutcome("untestable", {}, backtracks)
+
+    # ------------------------------------------------------------------
+    def _imply(self, slice_gates: List[int], assignment: Dict[int, int],
+               site_net: Optional[int], stuck: int,
+               branch_gate: Optional[int], branch_pos: Optional[int]
+               ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """3-valued forward simulation of good (gv) and faulty (fv)
+        machines over the slice."""
+        circuit = self.circuit
+        gv: Dict[int, int] = {}
+        fv: Dict[int, int] = {}
+
+        def source_value(nid: int) -> int:
+            if nid in assignment:
+                return assignment[nid]
+            const = circuit.constant_nets.get(nid)
+            if const is not None:
+                return const
+            if nid in circuit.x_net_ids:
+                return 0  # tied, consistent with packed simulation
+            if nid in self._control:
+                return X
+            return X
+
+        def get(machine: Dict[int, int], nid: int) -> int:
+            if nid in machine:
+                return machine[nid]
+            value = source_value(nid)
+            machine[nid] = value
+            return value
+
+        # A stem fault on a source net (FF Q, PI) must be injected before
+        # any gate reads it; a stem on a gate output is injected right
+        # after that gate evaluates (inside the loop).
+        if site_net is not None and branch_gate is None \
+                and circuit.gate_of_net.get(site_net) is None:
+            get(gv, site_net)
+            fv[site_net] = stuck
+
+        for gi in slice_gates:
+            gate = circuit.gates[gi]
+            g_ins = [get(gv, nid) for nid in gate.ins]
+            out_g = _eval3(gate.op_name, g_ins)
+            gv[gate.out] = out_g
+
+            if branch_gate is not None and gi == branch_gate:
+                f_ins = [get(fv, nid) for nid in gate.ins]
+                f_ins[branch_pos] = stuck
+                fv[gate.out] = _eval3(gate.op_name, f_ins)
+            else:
+                f_ins = [get(fv, nid) for nid in gate.ins]
+                out_f = _eval3(gate.op_name, f_ins)
+                fv[gate.out] = out_f
+            if site_net is not None and branch_gate is None \
+                    and gate.out == site_net:
+                fv[site_net] = stuck
+
+        return gv, fv
+
+    # ------------------------------------------------------------------
+    def _check(self, gv: Dict[int, int], fv: Dict[int, int],
+               site_net: int, stuck: int) -> str:
+        """'detected', 'conflict' or 'open'."""
+        site_g = gv.get(site_net, X)
+        if site_g == stuck:
+            return "conflict"  # can never be activated under assignment
+        for nid in self.circuit.observed:
+            a, b = gv.get(nid, X), fv.get(nid, X)
+            if a != X and b != X and a != b:
+                return "detected"
+        return "open"
+
+    def _objective(self, gv: Dict[int, int], fv: Dict[int, int],
+                   site_net: int, stuck: int, slice_gates: List[int],
+                   branch_gate: Optional[int] = None,
+                   branch_pos: Optional[int] = None
+                   ) -> Optional[Tuple[int, int]]:
+        circuit = self.circuit
+        site_g = gv.get(site_net, X)
+        if site_g == X:
+            return (site_net, 1 - stuck)  # activate
+
+        # D-frontier: gate with a D/D̄ input whose output is not yet
+        # resolved in at least one machine (composite value unknown).
+        # For a branch fault the D̄ sits on the faulted *pin* of the
+        # branch gate, which net-level values cannot show.
+        for gi in slice_gates:
+            gate = circuit.gates[gi]
+            if gv.get(gate.out, X) != X and fv.get(gate.out, X) != X:
+                continue
+            if branch_gate is not None and gi == branch_gate:
+                has_d = site_g != X and site_g != stuck
+            else:
+                has_d = any(
+                    gv.get(nid, X) != X and fv.get(nid, X) != X
+                    and gv.get(nid) != fv.get(nid)
+                    for nid in gate.ins
+                )
+            if not has_d:
+                continue
+            for pos, nid in enumerate(gate.ins):
+                if branch_gate is not None and gi == branch_gate                         and pos == branch_pos:
+                    continue  # the faulted pin is not a side input
+                if gv.get(nid, X) == X:
+                    return (nid, _NONCONTROLLING[gate.op_name])
+        return None
+
+    def _backtrace(self, net_id: int, value: int,
+                   gv: Dict[int, int]) -> Tuple[Optional[int], int]:
+        """Walk an X-path from the objective back to a control net.
+
+        Uses SCOAP guidance: "any input suffices" objectives descend
+        into the cheapest X input, "all inputs required" objectives
+        into the hardest one — the textbook backtrace policy.
+        """
+        circuit = self.circuit
+        cc0, cc1 = self._cc0, self._cc1
+        current, target = net_id, value
+        for _ in range(100000):  # cycle-free by construction
+            if current in self._control:
+                return current, target
+            driver = circuit.gate_of_net.get(current)
+            if driver is None:
+                return None, 0  # constant / X-tie: cannot justify
+            gate = circuit.gates[driver]
+            x_inputs = [nid for nid in gate.ins if gv.get(nid, X) == X]
+            if not x_inputs:
+                return None, 0
+            step = self._backtrace_step(gate, target, x_inputs, gv)
+            if step is None:
+                return None, 0
+            current, target = step
+        return None, 0
+
+    def _backtrace_step(self, gate, target: int, x_inputs: List[int],
+                        gv: Dict[int, int]) -> Optional[Tuple[int, int]]:
+        cc0, cc1 = self._cc0, self._cc1
+        op = gate.op_name
+
+        def easiest(value: int) -> int:
+            table = cc1 if value else cc0
+            return min(x_inputs, key=lambda n: table[n])
+
+        def hardest(value: int) -> int:
+            table = cc1 if value else cc0
+            return max(x_inputs, key=lambda n: table[n])
+
+        if op in ("buf", "inv"):
+            flip = op == "inv"
+            return (x_inputs[0], 1 - target if flip else target)
+        if op in ("and", "nand"):
+            out_all1 = target if op == "and" else 1 - target
+            if out_all1:  # need every input 1
+                return (hardest(1), 1)
+            return (easiest(0), 0)  # any input 0 suffices
+        if op in ("or", "nor"):
+            out_any1 = target if op == "or" else 1 - target
+            if out_any1:
+                return (easiest(1), 1)
+            return (hardest(0), 0)
+        if op in ("xor", "xnor"):
+            parity = 0
+            for nid in gate.ins:
+                v = gv.get(nid, X)
+                if v != X and nid not in x_inputs:
+                    parity ^= v
+            want = target if op == "xor" else 1 - target
+            chosen = x_inputs[0]
+            # Assume the other X inputs resolve to 0.
+            return (chosen, want ^ parity)
+        if op == "mux2":
+            a, b, s = gate.ins
+            a_v, b_v, s_v = gv.get(a, X), gv.get(b, X), gv.get(s, X)
+            if s_v == 0 and a in x_inputs:
+                return (a, target)
+            if s_v == 1 and b in x_inputs:
+                return (b, target)
+            if s_v == X:
+                # Choose the side whose data already matches, else side A.
+                if a_v == target or (a in x_inputs and b_v != target):
+                    return (s, 0) if s in x_inputs else (a, target)
+                return (s, 1) if s in x_inputs else ((b, target)
+                                                     if b in x_inputs else None)
+            return None
+        if op in ("aoi21", "oai21"):
+            a1, a2, b = gate.ins
+            inner_and = op == "aoi21"
+            need = 1 - target  # value of the inner (pre-inversion) term
+            # aoi: out = !((a1&a2)|b); oai: out = !((a1|a2)&b)
+            if op == "aoi21":
+                if need:  # (a1&a2)|b must be 1: easiest of b=1 / a1=a2=1
+                    if b in x_inputs and (cc1[b] <= cc1[a1] + cc1[a2]
+                                          or a1 not in x_inputs
+                                          and a2 not in x_inputs):
+                        return (b, 1)
+                    for nid in (a1, a2):
+                        if nid in x_inputs:
+                            return (nid, 1)
+                    return (b, 1) if b in x_inputs else None
+                # (a1&a2)|b must be 0: b=0 and one of a1/a2 = 0
+                if b in x_inputs:
+                    return (b, 0)
+                for nid in sorted((a1, a2), key=lambda n: cc0[n]):
+                    if nid in x_inputs:
+                        return (nid, 0)
+                return None
+            # oai21: inner = (a1|a2)&b
+            if need:  # inner 1: b=1 and one of a1/a2 = 1
+                if b in x_inputs:
+                    return (b, 1)
+                for nid in sorted((a1, a2), key=lambda n: cc1[n]):
+                    if nid in x_inputs:
+                        return (nid, 1)
+                return None
+            # inner 0: b=0 or both a1,a2 = 0
+            if b in x_inputs and (cc0[b] <= cc0[a1] + cc0[a2]
+                                  or (a1 not in x_inputs
+                                      and a2 not in x_inputs)):
+                return (b, 0)
+            for nid in (a1, a2):
+                if nid in x_inputs:
+                    return (nid, 0)
+            return (b, 0) if b in x_inputs else None
+        return (x_inputs[0], target)

@@ -1,0 +1,234 @@
+"""Compiled combinational circuit and packed-pattern simulation.
+
+``CompiledCircuit`` lowers a :class:`~repro.dft.testview.TestView` to
+flat arrays: net ids, a topologically ordered gate list, per-net fanout
+(gate users), source bindings (input columns, constants, X-ties) and
+observation nets. Simulation packs many patterns into one Python
+big-int per net, so a single ``&``/``|``/``^`` evaluates the gate for
+the whole block in C.
+
+Faulty-machine propagation is event-driven and cone-limited: only the
+fan-out cone of the fault site is re-evaluated, in topological order,
+against the cached good-machine values — the standard PPSFP scheme.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dft.testview import TestView
+from repro.netlist.library import LOGIC_FUNCTIONS
+from repro.util.errors import AtpgError
+
+
+@dataclass
+class _Gate:
+    """One compiled gate."""
+
+    index: int
+    name: str
+    op: Callable[[Sequence[int], int], int]
+    op_name: str
+    out: int  # net id
+    ins: Tuple[int, ...]  # net ids in cell pin order
+
+
+class CompiledCircuit:
+    """A test view lowered to simulation arrays."""
+
+    def __init__(self, view: TestView) -> None:
+        self.view = view
+        netlist = view.netlist
+
+        self.net_ids: Dict[str, int] = {}
+        self.net_names: List[str] = []
+        for name in netlist.nets:
+            self.net_ids[name] = len(self.net_names)
+            self.net_names.append(name)
+        n_nets = len(self.net_names)
+
+        # Source bindings.
+        self.input_columns: List[int] = []  # net ids, column order
+        seen: Set[int] = set()
+        for net in view.control_nets:
+            nid = self.net_ids[net]
+            if nid not in seen:
+                seen.add(nid)
+                self.input_columns.append(nid)
+        self.constant_nets: Dict[int, int] = {
+            self.net_ids[net]: value for net, value in view.constant_nets.items()
+        }
+        self.x_net_ids: Set[int] = {self.net_ids[n] for n in view.x_nets
+                                    if n in self.net_ids}
+
+        # Observations (dedup by net).
+        self.observe_ids: List[int] = []
+        obs_seen: Set[int] = set()
+        for _label, net in view.observe_nets:
+            nid = self.net_ids[net]
+            if nid not in obs_seen:
+                obs_seen.add(nid)
+                self.observe_ids.append(nid)
+        self.observed: Set[int] = obs_seen
+
+        # Gates in topological order.
+        from repro.netlist.topology import topological_instances
+
+        self.gates: List[_Gate] = []
+        self.gate_of_net: Dict[int, int] = {}  # out net id -> gate index
+        for name in topological_instances(netlist):
+            inst = netlist.instance(name)
+            out_net = inst.output_net()
+            if out_net is None:
+                continue
+            in_ids = tuple(
+                self.net_ids[inst.connections[pin.name]]
+                for pin in inst.cell.input_pins
+                if pin.name not in ("CK", "SE", "SI")
+                and pin.name in inst.connections
+            )
+            gate = _Gate(
+                index=len(self.gates),
+                name=name,
+                op=LOGIC_FUNCTIONS[inst.cell.function],
+                op_name=inst.cell.function,
+                out=self.net_ids[out_net],
+                ins=in_ids,
+            )
+            self.gates.append(gate)
+            self.gate_of_net[gate.out] = gate.index
+        self.gate_index_by_name: Dict[str, int] = {
+            g.name: g.index for g in self.gates
+        }
+
+        # Per-net gate users (for event-driven propagation).
+        self.gate_users: List[List[int]] = [[] for _ in range(n_nets)]
+        for gate in self.gates:
+            for nid in gate.ins:
+                self.gate_users[nid].append(gate.index)
+
+        self.n_nets = n_nets
+
+    # ------------------------------------------------------------------
+    @property
+    def input_count(self) -> int:
+        return len(self.input_columns)
+
+    def column_of_net(self, net_name: str) -> Optional[int]:
+        """Input column index of a control net (None if not a control)."""
+        nid = self.net_ids.get(net_name)
+        if nid is None:
+            return None
+        try:
+            return self.input_columns.index(nid)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    def simulate(self, input_words: Sequence[int], mask: int) -> List[int]:
+        """Good-machine simulation of one pattern block.
+
+        *input_words* has one packed word per input column; bit *k* of
+        a word is the value of that input in pattern *k*.
+        """
+        if len(input_words) != len(self.input_columns):
+            raise AtpgError(
+                f"expected {len(self.input_columns)} input words, "
+                f"got {len(input_words)}"
+            )
+        values = [0] * self.n_nets
+        for nid, word in zip(self.input_columns, input_words):
+            values[nid] = word & mask
+        for nid, constant in self.constant_nets.items():
+            values[nid] = mask if constant else 0
+        # X-source nets stay tied to 0.
+        for gate in self.gates:
+            values[gate.out] = gate.op([values[i] for i in gate.ins], mask)
+        return values
+
+    # ------------------------------------------------------------------
+    def propagate_stem(self, good: List[int], net_id: int, value: int,
+                       mask: int) -> int:
+        """Detection word of a stem stuck-at fault (value 0/1)."""
+        forced = mask if value else 0
+        if forced == (good[net_id] & mask):
+            return 0  # never activated
+        return self._propagate(good, {net_id: forced}, mask)
+
+    def propagate_branch(self, good: List[int], gate_index: int,
+                         pin_position: int, value: int, mask: int) -> int:
+        """Detection word of a branch (gate input pin) stuck-at fault."""
+        gate = self.gates[gate_index]
+        ins = [good[i] for i in gate.ins]
+        ins[pin_position] = mask if value else 0
+        out_word = gate.op(ins, mask)
+        if out_word == good[gate.out]:
+            return 0
+        return self._propagate(good, {gate.out: out_word}, mask)
+
+    def observation_diff(self, good: List[int], net_id: int, value: int,
+                         mask: int) -> int:
+        """Detection word of a fault on a pin feeding an observation
+        point directly (activation equals detection)."""
+        forced = mask if value else 0
+        return (good[net_id] ^ forced) & mask
+
+    # ------------------------------------------------------------------
+    def propagate_values(self, good: List[int], changed: Dict[int, int],
+                         mask: int) -> Dict[int, int]:
+        """Event-driven propagation of *changed* net values against the
+        *good* baseline; returns the final changed-net map (mutates and
+        returns the passed dict). Used for fault effects and for
+        what-if analyses (tied inputs, aliased observations)."""
+        self._propagate(good, changed, mask)
+        return changed
+
+    def observation_diffs(self, good: List[int], changed: Dict[int, int]
+                          ) -> Dict[int, int]:
+        """Per-observation-net difference words for a changed-map."""
+        diffs: Dict[int, int] = {}
+        for nid in self.observe_ids:
+            if nid in changed:
+                word = changed[nid] ^ good[nid]
+                if word:
+                    diffs[nid] = word
+        return diffs
+
+    def _propagate(self, good: List[int], changed: Dict[int, int],
+                   mask: int) -> int:
+        """Event-driven faulty propagation; returns the detection word."""
+        heap: List[int] = []
+        queued: Set[int] = set()
+        for nid in changed:
+            for gi in self.gate_users[nid]:
+                if gi not in queued:
+                    queued.add(gi)
+                    heapq.heappush(heap, gi)
+
+        gates = self.gates
+        users = self.gate_users
+        while heap:
+            gi = heapq.heappop(heap)
+            gate = gates[gi]
+            ins = [changed.get(i, good[i]) for i in gate.ins]
+            out_word = gate.op(ins, mask)
+            current = changed.get(gate.out, good[gate.out])
+            if out_word == current:
+                # If it converged back to the good value, forget the entry.
+                if gate.out in changed and out_word == good[gate.out]:
+                    del changed[gate.out]
+                continue
+            changed[gate.out] = out_word
+            for dependent in users[gate.out]:
+                if dependent not in queued:
+                    queued.add(dependent)
+                    heapq.heappush(heap, dependent)
+
+        detect = 0
+        observed = self.observed
+        for nid, word in changed.items():
+            if nid in observed:
+                detect |= (word ^ good[nid])
+        return detect & mask

@@ -1,0 +1,35 @@
+"""Benchmark circuits: ITC'99 Table-II profiles and circuit generation.
+
+The paper evaluates on six ITC'99 circuits (b11, b12, b18, b20, b21,
+b22) synthesized at 45 nm and partitioned into four dies by 3D-Craft.
+Neither Design Compiler nor 3D-Craft is available offline, so this
+package generates deterministic gate-level die netlists *calibrated to
+the paper's Table II*: the generated die has exactly the reported
+number of scan flip-flops, combinational gates, inbound TSVs and
+outbound TSVs, with realistic logic structure (bounded depth, skewed
+fanout, mixed cell types). See DESIGN.md §2 for the substitution
+argument.
+"""
+
+from repro.bench.itc99 import (
+    CIRCUITS,
+    DieProfile,
+    TABLE_II,
+    all_die_profiles,
+    die_profile,
+    profiles_for_circuit,
+)
+from repro.bench.generator import DieGeneratorConfig, generate_die
+from repro.bench.stack import generate_stack
+
+__all__ = [
+    "CIRCUITS",
+    "DieProfile",
+    "TABLE_II",
+    "all_die_profiles",
+    "die_profile",
+    "profiles_for_circuit",
+    "DieGeneratorConfig",
+    "generate_die",
+    "generate_stack",
+]

@@ -1,0 +1,121 @@
+"""ITC'99 benchmark characteristics from the paper's Table II.
+
+Each :class:`DieProfile` records the per-die statistics the paper
+reports after Design Compiler synthesis and 3D-Craft partitioning:
+scan flip-flop count, gate count, and inbound/outbound TSV counts.
+The circuit generator reproduces these counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.errors import ConfigError
+
+#: Circuits evaluated in the paper, in Table II order.
+CIRCUITS: Tuple[str, ...] = ("b11", "b12", "b18", "b20", "b21", "b22")
+
+#: Dies per circuit in the paper's 3D partitioning.
+DIES_PER_CIRCUIT = 4
+
+
+@dataclass(frozen=True)
+class DieProfile:
+    """Statistics of one die of one circuit (one Table II row)."""
+
+    circuit: str
+    die_index: int
+    scan_flip_flops: int
+    gates: int
+    inbound_tsvs: int
+    outbound_tsvs: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.circuit}_die{self.die_index}"
+
+    @property
+    def tsvs(self) -> int:
+        return self.inbound_tsvs + self.outbound_tsvs
+
+
+# (circuit, die) -> (#scan FFs, #gates, #inbound TSVs, #outbound TSVs)
+# Verbatim from Table II of the paper. #TSVs column is inbound+outbound.
+_TABLE_II_RAW: Dict[Tuple[str, int], Tuple[int, int, int, int]] = {
+    ("b11", 0): (14, 120, 14, 16),
+    ("b11", 1): (15, 234, 27, 43),
+    ("b11", 2): (3, 229, 38, 38),
+    ("b11", 3): (9, 148, 23, 11),
+    ("b12", 0): (7, 304, 23, 27),
+    ("b12", 1): (18, 397, 41, 41),
+    ("b12", 2): (45, 344, 23, 42),
+    ("b12", 3): (51, 317, 25, 5),
+    ("b18", 0): (515, 22934, 772, 733),
+    ("b18", 1): (1033, 26698, 1561, 1875),
+    ("b18", 2): (833, 23575, 1732, 1797),
+    ("b18", 3): (641, 20825, 810, 771),
+    ("b20", 0): (180, 6937, 251, 363),
+    ("b20", 1): (49, 8603, 720, 780),
+    ("b20", 2): (118, 8101, 740, 778),
+    ("b20", 3): (83, 7325, 408, 235),
+    ("b21", 0): (196, 6200, 264, 328),
+    ("b21", 1): (113, 9172, 836, 775),
+    ("b21", 2): (69, 9093, 837, 895),
+    ("b21", 3): (52, 6402, 368, 343),
+    ("b22", 0): (225, 9427, 499, 483),
+    ("b22", 1): (201, 12726, 1006, 1065),
+    ("b22", 2): (181, 13075, 1031, 1064),
+    ("b22", 3): (6, 11358, 511, 481),
+}
+
+TABLE_II: Dict[Tuple[str, int], DieProfile] = {
+    key: DieProfile(
+        circuit=key[0],
+        die_index=key[1],
+        scan_flip_flops=vals[0],
+        gates=vals[1],
+        inbound_tsvs=vals[2],
+        outbound_tsvs=vals[3],
+    )
+    for key, vals in _TABLE_II_RAW.items()
+}
+
+
+def die_profile(circuit: str, die_index: int) -> DieProfile:
+    """Look up one Table II row."""
+    try:
+        return TABLE_II[(circuit, die_index)]
+    except KeyError:
+        raise ConfigError(
+            f"no Table II profile for {circuit!r} die {die_index} "
+            f"(circuits: {CIRCUITS}, dies: 0..{DIES_PER_CIRCUIT - 1})"
+        ) from None
+
+
+def profiles_for_circuit(circuit: str) -> List[DieProfile]:
+    """All four die profiles of one circuit, in die order."""
+    if circuit not in CIRCUITS:
+        raise ConfigError(f"unknown circuit {circuit!r}; expected one of {CIRCUITS}")
+    return [die_profile(circuit, die) for die in range(DIES_PER_CIRCUIT)]
+
+
+def all_die_profiles() -> List[DieProfile]:
+    """All 24 die profiles in Table II order."""
+    result: List[DieProfile] = []
+    for circuit in CIRCUITS:
+        result.extend(profiles_for_circuit(circuit))
+    return result
+
+
+def average_stats() -> Dict[str, float]:
+    """The paper's Table II 'Average' row, recomputed from the data."""
+    profiles = all_die_profiles()
+    count = float(len(profiles))
+    return {
+        "scan_flip_flops": sum(p.scan_flip_flops for p in profiles) / count,
+        "gates": sum(p.gates for p in profiles) / count,
+        "tsvs": sum(p.tsvs for p in profiles) / count,
+        "inbound_tsvs": sum(p.inbound_tsvs for p in profiles) / count,
+        "outbound_tsvs": sum(p.outbound_tsvs for p in profiles) / count,
+    }

@@ -1,0 +1,83 @@
+"""Whole-stack generation from Table II profiles.
+
+Builds all four dies of a circuit and wires a plausible bonding map:
+each inbound TSV of each die is fed by an outbound TSV of another die
+(round-robin over the other dies), and outbound TSVs left over after
+all inbounds are satisfied are external links (bumps to the package or
+to dies outside the reported netlist) — Table II itself has unequal
+inbound/outbound totals, so such externals must exist.
+
+Pre-bond analysis never consults the links; they make the stack
+self-consistent for the post-bond examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.generator import DieGeneratorConfig, generate_die
+from repro.bench.itc99 import DIES_PER_CIRCUIT, profiles_for_circuit
+from repro.netlist.library import Library
+from repro.threed.model import Stack3D, TsvLink
+from repro.util.rng import DeterministicRng
+
+
+def generate_stack(circuit: str, seed: int = 2019,
+                   config: Optional[DieGeneratorConfig] = None,
+                   library: Optional[Library] = None) -> Stack3D:
+    """Generate the full 4-die stack of *circuit* with bonded TSV links."""
+    profiles = profiles_for_circuit(circuit)
+    dies = [generate_die(p, seed=seed, config=config, library=library)
+            for p in profiles]
+    rng = DeterministicRng(seed).child("stack", circuit)
+
+    # Gather endpoints.
+    inbound_by_die: Dict[int, List[str]] = {}
+    outbound_by_die: Dict[int, List[str]] = {}
+    for index, die in enumerate(dies):
+        inbound_by_die[index] = [p.name for p in die.inbound_tsvs()]
+        outbound_by_die[index] = [p.name for p in die.outbound_tsvs()]
+        rng.child("shuffle_in", index).shuffle(inbound_by_die[index])
+        rng.child("shuffle_out", index).shuffle(outbound_by_die[index])
+
+    links: List[TsvLink] = []
+    remaining_out = {d: list(ports) for d, ports in outbound_by_die.items()}
+
+    link_index = 0
+    for die_index in range(DIES_PER_CIRCUIT):
+        for in_port in inbound_by_die[die_index]:
+            # Pick a source die (any other die with spare outbounds),
+            # preferring vertical neighbours.
+            preference = sorted(
+                (d for d in range(DIES_PER_CIRCUIT)
+                 if d != die_index and remaining_out[d]),
+                key=lambda d: abs(d - die_index),
+            )
+            if not preference:
+                break  # no spare outbounds anywhere; leave inbound unbonded
+            source_die = preference[0]
+            out_port = remaining_out[source_die].pop()
+            links.append(TsvLink(
+                name=f"{circuit}_link{link_index}",
+                source_die=source_die,
+                source_port=out_port,
+                target_die=die_index,
+                target_port=in_port,
+            ))
+            link_index += 1
+
+    # Leftover outbounds leave the stack (external bumps).
+    for die_index, ports in remaining_out.items():
+        for out_port in ports:
+            links.append(TsvLink(
+                name=f"{circuit}_ext{link_index}",
+                source_die=die_index,
+                source_port=out_port,
+                target_die=None,
+                target_port=None,
+            ))
+            link_index += 1
+
+    stack = Stack3D(name=circuit, dies=dies, links=links)
+    stack.validate_links()
+    return stack

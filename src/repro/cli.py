@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1 | table2 | table3 | table4 | table5 | figure7`` — regenerate
+  one of the paper's artifacts and print it (``--scale smoke|default|
+  full`` overrides ``$REPRO_SCALE``),
+* ``all-tables`` — everything, in paper order,
+* ``die <circuit> <die>`` — run both methods on one die and print the
+  head-to-head (plus ``--atpg`` for coverage, ``--area`` for um²),
+* ``export <path>`` — write every table as markdown into a results file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    resolve_scale,
+    run_figure7,
+    run_overhead,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.common import scale_banner
+
+_DRIVERS: Dict[str, Callable] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "figure7": run_figure7,
+    "overhead": run_overhead,
+}
+
+#: regeneration order for `all-tables` / `export` (paper order)
+_EXPORT_ORDER = ("table2", "table1", "table3", "table4", "table5",
+                 "figure7")
+
+
+def _run_driver(name: str, scale_name: Optional[str], verbose: bool) -> str:
+    scale = resolve_scale(scale_name)
+    print(scale_banner(scale))
+    started = time.time()
+    result = _DRIVERS[name](scale, verbose=verbose)
+    rendered = result.render()
+    print(rendered)
+    print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+    return rendered
+
+
+def _cmd_die(args: argparse.Namespace) -> int:
+    from repro.atpg.engine import AtpgConfig
+    from repro.bench import die_profile, generate_die
+    from repro.core import Scenario, WcmConfig, build_problem, run_wcm_flow
+    from repro.core.flow import measure_testability
+    from repro.core.problem import tight_clock_for
+    from repro.dft.area import plan_area_estimate
+    from repro.util.tables import AsciiTable, format_percent
+
+    profile = die_profile(args.circuit, args.die)
+    netlist = generate_die(profile, seed=args.seed)
+    problem = build_problem(netlist)
+    clock = tight_clock_for(problem)
+    problem_tight = problem.retime(clock)
+    scenarios = {
+        "area": (Scenario.area_optimized(), problem),
+        "tight": (Scenario.performance_optimized(clock.period_ps),
+                  problem_tight),
+    }
+    table = AsciiTable(["method/scenario", "#reused", "#additional",
+                        "violation", "DFT area overhead"],
+                       title=f"{profile.name} — wrapper minimization")
+    for scenario_name, (scenario, prob) in scenarios.items():
+        for method_name, config in (
+                ("agrawal", WcmConfig.agrawal(scenario)),
+                ("ours", WcmConfig.ours(scenario))):
+            run = run_wcm_flow(prob, config)
+            area = plan_area_estimate(netlist, run.plan)
+            table.add_row([
+                f"{method_name}/{scenario_name}",
+                run.reused_scan_ffs, run.additional_wrapper_cells,
+                "X" if run.timing_violation else "-",
+                format_percent(area.overhead_fraction),
+            ])
+            if args.atpg and scenario_name == "tight":
+                report = measure_testability(
+                    run, AtpgConfig(seed=args.seed),
+                    include_transition=False)
+                print(f"  {method_name}: stuck-at coverage "
+                      f"{format_percent(report.stuck_at.coverage)}, "
+                      f"{report.stuck_at.pattern_count} patterns")
+    print(table.render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale)
+    sections = []
+    for name in _EXPORT_ORDER:
+        print(f"regenerating {name}...", flush=True)
+        result = _DRIVERS[name](scale)
+        sections.append(f"## {name}\n\n```\n{result.render()}\n```\n")
+    with open(args.path, "w") as handle:
+        handle.write(f"# Regenerated results (scale={scale.name})\n\n")
+        handle.write("\n".join(sections))
+    print(f"wrote {args.path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOCC'19 timing-aware wrapper-cell reduction "
+                    "reproduction",
+    )
+    parser.add_argument("--scale", choices=("smoke", "default", "full"),
+                        default=None)
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _DRIVERS:
+        sub.add_parser(name, help=f"regenerate {name}")
+    sub.add_parser("all-tables", help="regenerate every table and figure")
+
+    die_parser = sub.add_parser("die", help="analyze one die head-to-head")
+    die_parser.add_argument("circuit")
+    die_parser.add_argument("die", type=int)
+    die_parser.add_argument("--atpg", action="store_true",
+                            help="also run stuck-at ATPG (slower)")
+
+    export_parser = sub.add_parser("export",
+                                   help="write all tables to markdown")
+    export_parser.add_argument("path")
+
+    args = parser.parse_args(argv)
+    if args.command in _DRIVERS:
+        _run_driver(args.command, args.scale, args.verbose)
+        return 0
+    if args.command == "all-tables":
+        for name in _EXPORT_ORDER:
+            _run_driver(name, args.scale, args.verbose)
+        return 0
+    if args.command == "die":
+        return _cmd_die(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    parser.error(f"unknown command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

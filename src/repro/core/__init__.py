@@ -1,0 +1,50 @@
+"""The paper's contribution: timing-aware wrapper cell minimization.
+
+Pipeline (Fig. 6 of the paper):
+
+1. :mod:`repro.core.problem` — bundle a scan-stitched, placed die with
+   its baseline STA into a :class:`WcmProblem`.
+2. :mod:`repro.core.timing_model` — the *accurate* timing model
+   (capacity load + wire delay from FF/TSV coordinates) and the
+   load-only model of Agrawal et al. [4].
+3. :mod:`repro.core.graph` — graph construction (Algorithm 1), with
+   node filters (``cap_th``, ``s_th``), distance filter (``d_th``),
+   cone-overlap tests, and the testability-constrained overlap
+   expansion (``cov_th``, ``p_th``).
+4. :mod:`repro.core.clique` — the heuristic clique-partitioning
+   algorithm (Algorithm 2).
+5. :mod:`repro.core.flow` — the end-to-end flow: TSV-set ordering, two
+   partitioning passes, wrapper insertion, restitching, and the final
+   STA violation check.
+
+Baselines: :func:`repro.core.config.WcmConfig.agrawal` (load-only
+timing, inbound-first, no overlap) and :mod:`repro.core.li` (reuse-once
+matching of Li & Xiang [3]).
+"""
+
+from repro.core.config import Scenario, WcmConfig
+from repro.core.problem import WcmProblem, build_problem
+from repro.core.timing_model import ReuseTimingModel
+from repro.core.graph import GraphStats, WcmGraph, build_wcm_graph
+from repro.core.clique import CliquePartition, partition_cliques
+from repro.core.testability import OverlapEstimate, OverlapTestabilityEstimator
+from repro.core.flow import WcmRunResult, run_wcm_flow
+from repro.core.li import run_li_reuse_once
+
+__all__ = [
+    "Scenario",
+    "WcmConfig",
+    "WcmProblem",
+    "build_problem",
+    "ReuseTimingModel",
+    "GraphStats",
+    "WcmGraph",
+    "build_wcm_graph",
+    "CliquePartition",
+    "partition_cliques",
+    "OverlapEstimate",
+    "OverlapTestabilityEstimator",
+    "WcmRunResult",
+    "run_wcm_flow",
+    "run_li_reuse_once",
+]

@@ -1,0 +1,173 @@
+"""WCM graph construction — Algorithm 1 of the paper.
+
+Nodes: available scan FFs plus the TSVs of one direction that pass the
+node filters (``cap_th`` for inbound load, ``s_th`` for outbound
+slack). Filtered-out TSVs are recorded; they receive dedicated wrapper
+cells and count toward the additional-cell total.
+
+Edges (at least one endpoint a TSV, never FF–FF):
+
+1. ``distance(n1, n2) < d_th`` (ours only — [4] has no distance limit),
+2. the method's timing model admits the pair,
+3. cones non-overlapped — tested with per-node cone *bitsets*, so the
+   O(n²) pair sweep costs one big-int AND per pair — or, when
+   overlapped and ``allow_overlap`` is set, the ATPG-backed estimate
+   stays within ``cov_th``/``p_th``.
+
+The returned :class:`WcmGraph` carries rejection statistics for the
+Fig. 7 edge-count analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import WcmConfig
+from repro.core.problem import WcmProblem
+from repro.core.testability import OverlapTestabilityEstimator
+from repro.core.timing_model import ReuseTimingModel
+from repro.netlist.core import PortKind
+
+
+@dataclass
+class GraphStats:
+    """Why edges exist / were rejected (feeds Fig. 7 and Table V)."""
+
+    nodes: int = 0
+    ff_nodes: int = 0
+    tsv_nodes: int = 0
+    excluded_tsvs: int = 0
+    edges: int = 0
+    #: edges admitted despite overlapped cones (the paper's expansion)
+    overlap_edges: int = 0
+    rejected_distance: int = 0
+    rejected_timing: int = 0
+    rejected_overlap: int = 0
+    rejected_testability: int = 0
+
+
+@dataclass
+class WcmGraph:
+    """The sharing graph for one TSV direction."""
+
+    kind: PortKind
+    nodes: List[str]
+    is_ff: Dict[str, bool]
+    adjacency: Dict[str, Set[str]]
+    excluded_tsvs: List[str]
+    stats: GraphStats = field(default_factory=GraphStats)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(n) for n in self.adjacency.values()) // 2
+
+
+def _cone_bitsets(problem: WcmProblem, names: Sequence[str], kind: PortKind
+                  ) -> Dict[str, int]:
+    """Cone-as-bitset per node: one shared bit index per object name."""
+    index: Dict[str, int] = {}
+    bitsets: Dict[str, int] = {}
+    for name in names:
+        cone = problem.cones.gate_cone(name, kind)
+        value = 0
+        for item in cone:
+            bit = index.get(item)
+            if bit is None:
+                bit = len(index)
+                index[item] = bit
+            value |= (1 << bit)
+        bitsets[name] = value
+    return bitsets
+
+
+def effective_d_th(problem: WcmProblem, config: WcmConfig) -> float:
+    """Resolve d_th: explicit um value, or a fraction of die span."""
+    if math.isfinite(config.d_th_um) or config.d_th_fraction is None:
+        return config.d_th_um
+    xs = [p.x for p in problem.netlist.ports.values()]
+    ys = [p.y for p in problem.netlist.ports.values()]
+    if not xs:
+        return config.d_th_um
+    span = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return config.d_th_fraction * span
+
+
+def build_wcm_graph(problem: WcmProblem, kind: PortKind,
+                    available_ffs: Sequence[str], config: WcmConfig,
+                    timing_model: Optional[ReuseTimingModel] = None,
+                    estimator: Optional[OverlapTestabilityEstimator] = None
+                    ) -> WcmGraph:
+    """Algorithm 1: build the sharing graph for one TSV direction."""
+    model = timing_model or ReuseTimingModel(problem, config)
+    stats = GraphStats()
+
+    # ---- node construction --------------------------------------------
+    tsvs: List[str] = []
+    excluded: List[str] = []
+    for tsv in problem.tsvs_of_kind(kind):
+        if kind is PortKind.TSV_INBOUND:
+            eligible = model.inbound_node_eligible(tsv)
+        else:
+            eligible = model.outbound_node_eligible(tsv)
+        (tsvs if eligible else excluded).append(tsv)
+
+    ffs = list(available_ffs)
+    nodes = ffs + tsvs
+    is_ff = {name: True for name in ffs}
+    is_ff.update({name: False for name in tsvs})
+    adjacency: Dict[str, Set[str]] = {name: set() for name in nodes}
+
+    stats.ff_nodes = len(ffs)
+    stats.tsv_nodes = len(tsvs)
+    stats.nodes = len(nodes)
+    stats.excluded_tsvs = len(excluded)
+
+    cones = _cone_bitsets(problem, nodes, kind)
+    d_th = effective_d_th(problem, config)
+    # d_th guards wire delay and routing congestion; the unconstrained
+    # area scenario imposes neither.
+    check_distance = math.isfinite(d_th) and config.scenario.is_timed
+
+    # ---- edge construction ----------------------------------------------
+    def consider(name_a: str, name_b: str, a_is_ff: bool) -> None:
+        if check_distance:
+            if model.distance_um(name_a, name_b) >= d_th:
+                stats.rejected_distance += 1
+                return
+        if not model.pair_feasible(name_a, name_b, kind, a_is_ff, False):
+            stats.rejected_timing += 1
+            return
+        overlap_bits = cones[name_a] & cones[name_b]
+        if overlap_bits == 0:
+            adjacency[name_a].add(name_b)
+            adjacency[name_b].add(name_a)
+            stats.edges += 1
+            return
+        # The paper's relaxation (Fig. 4) concerns reusing a *scan FF*
+        # despite overlapped cones; TSV-TSV sharing keeps the strict
+        # non-overlap rule in every method.
+        if not a_is_ff or not config.allow_overlap or estimator is None:
+            stats.rejected_overlap += 1
+            return
+        overlap = problem.cones.overlap(name_a, name_b, kind)
+        estimate = estimator.estimate(name_a, name_b, kind, overlap)
+        if estimate.within(config.cov_th, config.p_th):
+            adjacency[name_a].add(name_b)
+            adjacency[name_b].add(name_a)
+            stats.edges += 1
+            stats.overlap_edges += 1
+        else:
+            stats.rejected_testability += 1
+
+    for i, tsv_a in enumerate(tsvs):
+        for tsv_b in tsvs[i + 1:]:
+            consider(tsv_a, tsv_b, a_is_ff=False)
+    for ff in ffs:
+        for tsv in tsvs:
+            consider(ff, tsv, a_is_ff=True)
+
+    return WcmGraph(kind=kind, nodes=nodes, is_ff=is_ff,
+                    adjacency=adjacency, excluded_tsvs=excluded,
+                    stats=stats)

@@ -1,0 +1,52 @@
+"""Reuse-once baseline of J. Li & D. Xiang [3].
+
+Each scan flip-flop may be reused as the wrapper cell of *at most one*
+TSV (no TSV–TSV sharing at all), and only when the relevant
+fan-in/fan-out cones do not overlap. Additional wrapper cells cover
+whatever no FF can serve. Implemented as a greedy bipartite matching
+ordered by FF→TSV distance, which is how a DFT engineer would seed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import WcmConfig
+from repro.core.problem import WcmProblem
+from repro.core.timing_model import ReuseTimingModel
+from repro.dft.wrapper import WrapperGroup, WrapperPlan
+from repro.netlist.core import PortKind
+
+
+def run_li_reuse_once(problem: WcmProblem, config: WcmConfig) -> WrapperPlan:
+    """Build a [3]-style reuse-once wrapper plan."""
+    model = ReuseTimingModel(problem, config)
+    used_ffs: Set[str] = set()
+    groups: List[WrapperGroup] = []
+
+    for kind in (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND):
+        tsvs = problem.tsvs_of_kind(kind)
+        # Candidate (distance, ff, tsv) pairs, nearest first.
+        candidates: List[Tuple[float, str, str]] = []
+        for ff in problem.scan_ffs:
+            for tsv in tsvs:
+                candidates.append((model.distance_um(ff, tsv), ff, tsv))
+        candidates.sort()
+
+        assigned: Dict[str, str] = {}
+        for _distance, ff, tsv in candidates:
+            if ff in used_ffs or tsv in assigned:
+                continue
+            if problem.cones.overlaps(ff, tsv, kind):
+                continue
+            if not model.pair_feasible(ff, tsv, kind,
+                                       a_is_ff=True, b_is_ff=False):
+                continue
+            assigned[tsv] = ff
+            used_ffs.add(ff)
+
+        for tsv in tsvs:
+            groups.append(WrapperGroup(kind=kind, tsvs=[tsv],
+                                       reused_ff=assigned.get(tsv)))
+
+    return WrapperPlan(die_name=problem.netlist.name, groups=groups)

@@ -1,0 +1,516 @@
+"""Reuse timing models: accurate (ours) vs load-only (Agrawal [4]).
+
+Electrical story (matches :mod:`repro.dft.wrapper` insertion):
+
+* an **inbound** wrapper group is driven by its wrapper source (a
+  reused scan FF's Q, or a dedicated cell's Q) through one ``BUF_X2``
+  placed at the source; the buffer fans out to one test mux per member
+  TSV, each placed at its TSV site. The buffer's load is the members'
+  mux pins and sink loads *plus the route capacitance* — ``cap_th`` is
+  the buffer's max load. The FF itself only gains one buffer input pin
+  per adopted group;
+* an **outbound** wrapper group folds its members into one XOR chain
+  behind a test-mode mux in front of the capturing FF's D pin. The
+  capture path ``TSV → (wire) → XOR chain → mux → D`` must fit the
+  period; the functional D path gains one mux stage.
+
+The accurate model (``use_wire_delay=True``) includes the wire terms;
+the Agrawal model [4] zeroes them — under tight timing it overcommits
+and its solutions fail sign-off STA (Table III's 20/24 violations).
+
+A scan FF may serve several groups ("reused multiple times"); the
+:class:`FfReuseLedger` accumulates each FF's extra Q load and enforces
+at most one outbound chain per FF. See DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import WcmConfig
+from repro.core.problem import WcmProblem
+from repro.netlist.core import PortKind
+from repro.sta.delay import WireModel
+from repro.util.errors import ConfigError
+
+INF = math.inf
+
+#: safety margin (ps) kept between a predicted path and its requirement
+PREDICTION_MARGIN_PS = 4.0
+
+
+@dataclass
+class CliqueTimingState:
+    """Incrementally maintained timing/load state of one clique."""
+
+    kind: PortKind
+    members: Tuple[str, ...]
+    anchor: Tuple[float, float]
+    has_ff: bool
+    #: buffer load the wrapper driver must carry (inbound groups)
+    cap_ff: float = 0.0
+    #: worst member-side arrival at the anchor (outbound groups)
+    worst_arrival_ps: float = 0.0
+    #: tightest required time among member TSV nets (inbound groups)
+    min_required_ps: float = INF
+    #: largest single member sink load (sets the slowest member mux)
+    max_member_load_ff: float = 0.0
+    #: farthest member from the anchor (um)
+    max_span_um: float = 0.0
+    # -- reused-FF data (when has_ff) ----------------------------------
+    ff_name: Optional[str] = None
+    ff_arrival_ps: float = 0.0
+    ff_q_slack_ps: float = INF
+    ff_resistance: float = 0.0
+    #: arrival of the FF's functional D net (joins the XOR chain)
+    ff_d_arrival_ps: float = 0.0
+    #: worst member-net driver resistance (ps/fF) — the new XOR tap's
+    #: wire load slows that driver down
+    worst_member_resistance: float = 0.0
+    #: tightest slack among member nets (both modes) — the tap slowdown
+    #: must fit inside it, or the member's OTHER fanout paths violate
+    min_member_slack_ps: float = INF
+    #: slowdown of the functional D net from re-pinning (xor+mux pins)
+    ff_d_slowdown_ps: float = 0.0
+
+
+class ReuseTimingModel:
+    """Feasibility oracle for reuse/sharing decisions."""
+
+    def __init__(self, problem: WcmProblem, config: WcmConfig) -> None:
+        self.problem = problem
+        self.config = config
+        self.timing = problem.timing
+        self.test_timing = problem.test_timing
+        library = problem.netlist.library
+        self._mux = library.get("MUX2_X1")
+        self._xor = library.get("XOR2_X1")
+        self._buf = library.get("BUF_X2")
+        self._sdff = library.get("SDFF_X1")
+        #: physical wire model (matches the STA's defaults)
+        self._wire = WireModel()
+        # The "no timing constraint at all" scenario disables the whole
+        # timing model (wire terms included): Table III's area columns
+        # show both methods nearly identical, which only holds when the
+        # area run is genuinely unconstrained.
+        self._use_wire = config.use_wire_delay and config.scenario.is_timed
+        period = config.scenario.clock.period_ps
+        self._ff_required = (period - config.scenario.clock.setup_ps
+                             if period is not None else INF)
+        self._timed = config.scenario.is_timed
+
+    # ------------------------------------------------------------------
+    # Geometry / electrical primitives
+    # ------------------------------------------------------------------
+    def distance_um(self, name_a: str, name_b: str) -> float:
+        ax, ay = self.problem.location_of(name_a)
+        bx, by = self.problem.location_of(name_b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def _wire_cap(self, length_um: float) -> float:
+        if not self._use_wire:
+            return 0.0
+        return self._wire.wire_cap_ff(length_um)
+
+    def _wire_delay(self, length_um: float, load_ff: float) -> float:
+        if not self._use_wire:
+            return 0.0
+        return self._wire.wire_delay_ps(length_um, load_ff)
+
+    def _tsv_net(self, tsv_name: str) -> str:
+        net = self.problem.netlist.port(tsv_name).net
+        if net is None:
+            raise ConfigError(f"TSV {tsv_name} unconnected")
+        return net
+
+    @property
+    def buf_pin_cap(self) -> float:
+        return self._buf.input_cap("A")
+
+    def _mux_delay(self, load_ff: float) -> float:
+        return self._mux.delay_ps(load_ff)
+
+    def _xor_delay(self) -> float:
+        return self._xor.delay_ps(self._xor.input_cap("A"))
+
+    # ------------------------------------------------------------------
+    # Loads (the quantity compared against cap_th)
+    # ------------------------------------------------------------------
+    def pin_load_ff(self, tsv_name: str) -> float:
+        """Sink pin capacitance of the TSV's net (no wire)."""
+        return self.problem.netlist.sink_cap_ff(self._tsv_net(tsv_name))
+
+    def model_load_ff(self, tsv_name: str) -> float:
+        """The load this method's model attributes to an inbound TSV.
+
+        Computed on the *bare* die (the functional sinks the test mux
+        must re-drive): pin caps plus, for the accurate model, the
+        star-route wire capacitance from the TSV to each sink.
+        """
+        cached = getattr(self, "_load_cache", None)
+        if cached is None:
+            cached = self._load_cache = {}
+        load = cached.get(tsv_name)
+        if load is not None:
+            return load
+        netlist = self.problem.netlist
+        net = netlist.net(self._tsv_net(tsv_name))
+        port = netlist.port(tsv_name)
+        total = 0.0
+        for sink in net.sinks:
+            if sink.is_port:
+                continue
+            inst = netlist.instance(sink.owner_name)
+            if sink.pin_name in ("SI", "SE", "CK"):
+                continue
+            total += inst.cell.input_cap(sink.pin_name)
+            if self._use_wire:
+                length = (abs(port.x - inst.x) + abs(port.y - inst.y))
+                total += self._wire.wire_cap_ff(length)
+        cached[tsv_name] = total
+        return total
+
+    def _driver_resistance(self, net_name: str) -> float:
+        net = self.problem.netlist.net(net_name)
+        if net.driver is None or net.driver.is_port:
+            return 0.0
+        inst = self.problem.netlist.instance(net.driver.owner_name)
+        return inst.cell.drive_resistance
+
+    def member_buffer_load(self, tsv_name: str) -> float:
+        """What one member adds to the group buffer: its test mux pin
+        (the mux re-drives the sink load itself)."""
+        return self._mux.input_cap("B")
+
+    def required_at_mux_b(self, tsv_name: str) -> float:
+        """Required time at the inbound test mux's B pin, from the
+        test-mode STA of the reference build."""
+        mux_out = self.problem.tsv_mux_out.get(tsv_name)
+        if mux_out is None:
+            return INF
+        required = self.test_timing.required_ps.get(mux_out, INF)
+        if required is INF:
+            return INF
+        return required - self._mux_delay(
+            self.test_timing.load_of_net(mux_out))
+
+    # ------------------------------------------------------------------
+    # Node filters (Algorithm 1, node construction)
+    # ------------------------------------------------------------------
+    def inbound_node_eligible(self, tsv_name: str) -> bool:
+        return self.model_load_ff(tsv_name) < self.config.scenario.cap_th_ff
+
+    def outbound_node_eligible(self, tsv_name: str) -> bool:
+        # The capture happens in test mode; use the test-mode slack.
+        slack = self.test_timing.slack_of_port(tsv_name)
+        return slack > self.config.scenario.s_th_ps
+
+    # ------------------------------------------------------------------
+    # Pair feasibility (Algorithm 1, edge construction)
+    # ------------------------------------------------------------------
+    def inbound_reuse_feasible(self, ff_name: str, tsv_name: str) -> bool:
+        """Can *ff_name* (via its group buffer) drive *tsv_name*'s mux?"""
+        if not self._timed:
+            return True
+        state = self.initial_state(tsv_name, PortKind.TSV_INBOUND,
+                                   is_ff=False)
+        ledger = FfReuseLedger(self)
+        return ledger.inbound_adoption_feasible(ff_name, state)
+
+    def inbound_share_feasible(self, tsv_a: str, tsv_b: str) -> bool:
+        """Can two inbound TSVs hang off one group buffer?"""
+        cap_th = self.config.scenario.cap_th_ff
+        if cap_th is INF:
+            return True
+        coupling = self._wire_cap(self.distance_um(tsv_a, tsv_b))
+        total = (self.model_load_ff(tsv_a) + self.model_load_ff(tsv_b)
+                 + 2 * self._mux.input_cap("B") + coupling)
+        return total < cap_th
+
+    def outbound_reuse_feasible(self, ff_name: str, tsv_name: str) -> bool:
+        """Can *ff_name* observe *tsv_name* through an XOR tap?"""
+        if not self._timed:
+            return True
+        state = self.initial_state(tsv_name, PortKind.TSV_OUTBOUND,
+                                   is_ff=False)
+        ledger = FfReuseLedger(self)
+        return ledger.outbound_adoption_feasible(ff_name, state)
+
+    def outbound_share_feasible(self, tsv_a: str, tsv_b: str) -> bool:
+        """Can two outbound TSVs share one observation chain?"""
+        if not self._timed:
+            return True
+        dist = self.distance_um(tsv_a, tsv_b)
+        worst = 0.0
+        for tsv in (tsv_a, tsv_b):
+            net = self._tsv_net(tsv)
+            arrival = (self.timing.arrival_ps.get(net, 0.0)
+                       + self._wire_delay(dist, self._xor.input_cap("B"))
+                       + 2 * self._xor_delay()
+                       + self._mux_delay(self._sdff.input_cap("D")))
+            worst = max(worst, arrival)
+        slack = self._ff_required - worst
+        return slack > self.config.scenario.s_th_ps + PREDICTION_MARGIN_PS
+
+    def pair_feasible(self, name_a: str, name_b: str, kind: PortKind,
+                      a_is_ff: bool, b_is_ff: bool) -> bool:
+        """Edge-level timing feasibility for Algorithm 1."""
+        if a_is_ff and b_is_ff:
+            return False  # FF-FF edges never exist
+        if kind is PortKind.TSV_INBOUND:
+            if a_is_ff:
+                return self.inbound_reuse_feasible(name_a, name_b)
+            if b_is_ff:
+                return self.inbound_reuse_feasible(name_b, name_a)
+            return self.inbound_share_feasible(name_a, name_b)
+        if a_is_ff:
+            return self.outbound_reuse_feasible(name_a, name_b)
+        if b_is_ff:
+            return self.outbound_reuse_feasible(name_b, name_a)
+        return self.outbound_share_feasible(name_a, name_b)
+
+    # ------------------------------------------------------------------
+    # Clique state (Algorithm 2's `cap` bookkeeping)
+    # ------------------------------------------------------------------
+    def initial_state(self, name: str, kind: PortKind, is_ff: bool
+                      ) -> CliqueTimingState:
+        location = self.problem.location_of(name)
+        if is_ff:
+            netlist = self.problem.netlist
+            ff = netlist.instance(name)
+            q_net = ff.output_net()
+            d_net = ff.connections.get("D")
+            # Re-pinning D onto the XOR/mux pair changes its net's load
+            # by (xor.A + mux.A - ff.D) and slows its driver.
+            d_slow = 0.0
+            if d_net is not None:
+                delta = (self._xor.input_cap("A") + self._mux.input_cap("A")
+                         - self._sdff.input_cap("D"))
+                d_slow = self._driver_resistance(d_net) * max(delta, 0.0)
+            return CliqueTimingState(
+                kind=kind, members=(), anchor=location, has_ff=True,
+                ff_name=name,
+                ff_arrival_ps=self.timing.arrival_ps.get(q_net, 0.0),
+                ff_q_slack_ps=self.timing.slack_of_net(q_net),
+                ff_resistance=ff.cell.drive_resistance,
+                ff_d_arrival_ps=(self.test_timing.arrival_ps.get(d_net, 0.0)
+                                 if d_net else 0.0),
+                ff_d_slowdown_ps=d_slow,
+            )
+        if kind is PortKind.TSV_INBOUND:
+            return CliqueTimingState(
+                kind=kind, members=(name,), anchor=location, has_ff=False,
+                cap_ff=self.member_buffer_load(name),
+                min_required_ps=self.required_at_mux_b(name),
+                max_member_load_ff=self.model_load_ff(name),
+            )
+        net = self._tsv_net(name)
+        return CliqueTimingState(
+            kind=kind, members=(name,), anchor=location, has_ff=False,
+            worst_arrival_ps=self.test_timing.arrival_ps.get(net, 0.0),
+            worst_member_resistance=self._driver_resistance(net),
+            min_member_slack_ps=min(self.timing.slack_of_net(net),
+                                    self.test_timing.slack_of_net(net)),
+        )
+
+    def _inbound_capture_ok(self, state: CliqueTimingState) -> bool:
+        """Worst member path through buffer+mux vs. tightest required."""
+        if not self._timed or state.min_required_ps is INF:
+            return True
+        if not state.has_ff:
+            # Dedicated cell at the anchor: its launch is the SDFF's
+            # clock-to-Q; members still pay buffer + route.
+            path = (self._sdff.delay_ps(self.buf_pin_cap)
+                    + self._buf.delay_ps(state.cap_ff)
+                    + self._wire_delay(state.max_span_um,
+                                       self._mux.input_cap("B")))
+            return path + PREDICTION_MARGIN_PS <= state.min_required_ps
+        # The baseline STA already includes each member's test mux (the
+        # dedicated-wrapper reference build), so the prediction adds
+        # only what reuse changes: FF loading, buffer, route.
+        path = (state.ff_arrival_ps
+                + state.ff_resistance * self.buf_pin_cap
+                + self._buf.delay_ps(state.cap_ff)
+                + self._wire_delay(state.max_span_um,
+                                   self._mux.input_cap("B")))
+        return path + PREDICTION_MARGIN_PS <= state.min_required_ps
+
+    def merged_state(self, a: CliqueTimingState, b: CliqueTimingState
+                     ) -> Optional[CliqueTimingState]:
+        """State after merging two cliques, or None if infeasible.
+
+        This is the paper's ``cap + 1 < cap_th`` merge test, with the
+        accurate model adding anchor-distance wire terms.
+        """
+        if a.has_ff and b.has_ff:
+            return None
+        if (len(a.members) + len(b.members)
+                > self.config.max_group_size):
+            return None
+        primary, other = (a, b) if (a.has_ff or not b.has_ff) else (b, a)
+        anchor = primary.anchor
+        span = (abs(a.anchor[0] - b.anchor[0])
+                + abs(a.anchor[1] - b.anchor[1]))
+        members = a.members + b.members
+        max_span = max(primary.max_span_um, other.max_span_um + span)
+
+        common = dict(
+            kind=a.kind, members=members, anchor=anchor,
+            has_ff=a.has_ff or b.has_ff,
+            ff_name=a.ff_name or b.ff_name,
+            ff_arrival_ps=max(a.ff_arrival_ps, b.ff_arrival_ps),
+            ff_q_slack_ps=min(a.ff_q_slack_ps, b.ff_q_slack_ps),
+            ff_resistance=max(a.ff_resistance, b.ff_resistance),
+            ff_d_arrival_ps=max(a.ff_d_arrival_ps, b.ff_d_arrival_ps),
+            ff_d_slowdown_ps=max(a.ff_d_slowdown_ps, b.ff_d_slowdown_ps),
+            worst_member_resistance=max(a.worst_member_resistance,
+                                        b.worst_member_resistance),
+            min_member_slack_ps=min(a.min_member_slack_ps,
+                                    b.min_member_slack_ps),
+            max_span_um=max_span,
+        )
+
+        if a.kind is PortKind.TSV_INBOUND:
+            cap = a.cap_ff + b.cap_ff + self._wire_cap(span)
+            if cap >= self.config.scenario.cap_th_ff:
+                return None
+            state = CliqueTimingState(
+                cap_ff=cap,
+                min_required_ps=min(a.min_required_ps, b.min_required_ps),
+                max_member_load_ff=max(a.max_member_load_ff,
+                                       b.max_member_load_ff),
+                **common,
+            )
+            if not self._inbound_capture_ok(state):
+                return None
+            return state
+
+        # Outbound: the XOR chain deepens with the member count.
+        # worst_arrival_ps stays *raw* (at the member net); wire and
+        # driver-slowdown terms are computed from the span when checked.
+        worst_raw = max(a.worst_arrival_ps, b.worst_arrival_ps)
+        state = CliqueTimingState(worst_arrival_ps=worst_raw, **common)
+        if self._timed and not self.outbound_capture_ok(state, 0.0):
+            return None
+        return state
+
+    def outbound_capture_ok(self, state: CliqueTimingState,
+                            extra_hop_um: float) -> bool:
+        """Test-capture feasibility of an outbound group whose chain
+        sits *extra_hop_um* beyond the current anchor (0 for the state
+        as-is, the FF hop at adoption time)."""
+        if not self._timed:
+            return True
+        span = state.max_span_um + extra_hop_um
+        xor_pin = self._xor.input_cap("B")
+        tap_cap = xor_pin + self._wire_cap(span)
+        slowdown = state.worst_member_resistance * tap_cap
+        # The tap slowdown also delays the member's other fanout; it
+        # must fit inside the member's own slack.
+        if slowdown + PREDICTION_MARGIN_PS > state.min_member_slack_ps:
+            return False
+        member_source = (state.worst_arrival_ps + slowdown
+                         + self._wire_delay(span, xor_pin))
+        d_source = ((state.ff_d_arrival_ps + state.ff_d_slowdown_ps)
+                    if state.has_ff else 0.0)
+        chain_depth = max(1, len(state.members))
+        capture = (max(member_source, d_source)
+                   + chain_depth * self._xor_delay()
+                   + self._mux_delay(self._sdff.input_cap("D")))
+        slack = self._ff_required - capture
+        return slack > self.config.scenario.s_th_ps + PREDICTION_MARGIN_PS
+
+
+class FfReuseLedger:
+    """Per-FF budget accounting for multi-group reuse (DESIGN.md §4)."""
+
+    def __init__(self, model: ReuseTimingModel) -> None:
+        self.model = model
+        self._extra_q_cap: Dict[str, float] = {}
+        self._outbound_used: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _ff_q_slack(self, ff_name: str) -> float:
+        netlist = self.model.problem.netlist
+        q_net = netlist.instance(ff_name).output_net()
+        return self.model.timing.slack_of_net(q_net)
+
+    def _ff_arrival(self, ff_name: str) -> float:
+        netlist = self.model.problem.netlist
+        q_net = netlist.instance(ff_name).output_net()
+        return self.model.timing.arrival_ps.get(q_net, 0.0)
+
+    def inbound_adoption_feasible(self, ff_name: str,
+                                  state: CliqueTimingState) -> bool:
+        model = self.model
+        if not model._timed:
+            return True
+        netlist = model.problem.netlist
+        ff = netlist.instance(ff_name)
+        new_cap = self._extra_q_cap.get(ff_name, 0.0) + model.buf_pin_cap
+        delta_delay = ff.cell.drive_resistance * new_cap
+        if self._ff_q_slack(ff_name) < delta_delay + PREDICTION_MARGIN_PS:
+            return False
+        if state.min_required_ps is INF:
+            return True
+        fx, fy = model.problem.location_of(ff_name)
+        hop = abs(fx - state.anchor[0]) + abs(fy - state.anchor[1])
+        cap = state.cap_ff + model._wire_cap(hop)
+        if cap >= model.config.scenario.cap_th_ff:
+            return False
+        path = (self._ff_arrival(ff_name) + delta_delay
+                + model._buf.delay_ps(cap)
+                + model._wire_delay(state.max_span_um + hop,
+                                    model._mux.input_cap("B")))
+        return path + PREDICTION_MARGIN_PS <= state.min_required_ps
+
+    def outbound_adoption_feasible(self, ff_name: str,
+                                   state: CliqueTimingState) -> bool:
+        model = self.model
+        if ff_name in self._outbound_used:
+            return False
+        if not model._timed:
+            return True
+        netlist = model.problem.netlist
+        ff = netlist.instance(ff_name)
+        d_net = ff.connections.get("D")
+        if d_net is None:
+            return False
+        mux_penalty = model._mux_delay(model._sdff.input_cap("D"))
+        delta = (model._xor.input_cap("A") + model._mux.input_cap("A")
+                 - model._sdff.input_cap("D"))
+        d_slow = model._driver_resistance(d_net) * max(delta, 0.0)
+        d_slack = min(model.timing.slack_of_net(d_net),
+                      model.test_timing.slack_of_net(d_net))
+        if d_slack < mux_penalty + d_slow + PREDICTION_MARGIN_PS:
+            return False
+        fx, fy = model.problem.location_of(ff_name)
+        hop = abs(fx - state.anchor[0]) + abs(fy - state.anchor[1])
+        delta = (model._xor.input_cap("A") + model._mux.input_cap("A")
+                 - model._sdff.input_cap("D"))
+        probe = CliqueTimingState(
+            kind=state.kind, members=state.members, anchor=state.anchor,
+            has_ff=True, worst_arrival_ps=state.worst_arrival_ps,
+            worst_member_resistance=state.worst_member_resistance,
+            max_span_um=state.max_span_um,
+            ff_d_arrival_ps=model.test_timing.arrival_ps.get(d_net, 0.0),
+            ff_d_slowdown_ps=model._driver_resistance(d_net)
+            * max(delta, 0.0),
+        )
+        return model.outbound_capture_ok(probe, hop)
+
+    # ------------------------------------------------------------------
+    def adoption_feasible(self, ff_name: str, state: CliqueTimingState
+                          ) -> bool:
+        if state.kind is PortKind.TSV_INBOUND:
+            return self.inbound_adoption_feasible(ff_name, state)
+        return self.outbound_adoption_feasible(ff_name, state)
+
+    def commit(self, ff_name: str, state: CliqueTimingState) -> None:
+        if state.kind is PortKind.TSV_INBOUND:
+            self._extra_q_cap[ff_name] = (self._extra_q_cap.get(ff_name, 0.0)
+                                          + self.model.buf_pin_cap)
+        else:
+            self._outbound_used.add(ff_name)

@@ -1,0 +1,127 @@
+"""Post-bond test views for assembled stacks.
+
+Pre-bond testing (the paper's subject) qualifies each die alone;
+post-bond testing re-runs test on the assembled stack, where bonded
+TSVs are real wires between dies. The reuse-based wrapper hardware
+serves double duty there ([4] optimizes both): the same muxes/XOR taps
+give per-die isolation, and the TSV wires themselves become testable.
+
+This module builds the post-bond view of a bonded stack: the dies'
+netlists are joined, with every bonded crossing *registered* at the
+receiving die (the synchronous-stack style — which also keeps the
+merged netlist combinationally acyclic). Bonded inbound TSVs stop
+being X-sources and the TSV wires become testable through the bond
+registers' scan access; unbonded (external) endpoints remain dark.
+
+The view namespaces each die's nets as ``die{k}/net`` in one merged
+netlist, so the standard ATPG machinery runs unchanged on the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dft.testview import TestView, build_prebond_test_view
+from repro.netlist.core import Netlist, PortKind
+from repro.threed.model import Stack3D
+from repro.util.errors import PartitionError
+
+
+def merge_stack_netlist(stack: Stack3D,
+                        wrapped_dies: Optional[List[Netlist]] = None
+                        ) -> Netlist:
+    """Join the (optionally wrapped) dies into one flat netlist.
+
+    Instance/net/port names are prefixed ``die{k}/``. For every bonded
+    link the inbound port disappears and its net is driven by the
+    source die's outbound net; the outbound port disappears too (it is
+    now an internal wire). External endpoints keep their TSV ports.
+    """
+    dies = wrapped_dies or stack.dies
+    if len(dies) != stack.die_count:
+        raise PartitionError(
+            f"{stack.name}: {len(dies)} netlists for {stack.die_count} dies"
+        )
+    merged = Netlist(f"{stack.name}_stack", dies[0].library)
+
+    bonded_inbound: Dict[Tuple[int, str], Tuple[int, str]] = {}
+    bonded_outbound = set()
+    for link in stack.links:
+        if link.is_external:
+            continue
+        bonded_inbound[(link.target_die, link.target_port)] = \
+            (link.source_die, link.source_port)
+        bonded_outbound.add((link.source_die, link.source_port))
+
+    def net_name(die_index: int, net: str) -> str:
+        return f"die{die_index}/{net}"
+
+    # All nets and instances first.
+    for index, die in enumerate(dies):
+        for net in die.nets.values():
+            merged.add_net(net_name(index, net.name))
+        for inst in die.instances.values():
+            copy = merged.add_instance(f"die{index}/{inst.name}",
+                                       inst.cell.name)
+            copy.x, copy.y = inst.x, inst.y
+            for pin, net in inst.connections.items():
+                merged.connect(copy.name, pin, net_name(index, net))
+
+    # Ports: bonded TSVs become registered internal crossings.
+    for index, die in enumerate(dies):
+        # A die may be a wrapped clone whose link ports kept their
+        # original names, so look links up against this die's ports.
+        for port in die.ports.values():
+            if port.net is None:
+                continue
+            local = net_name(index, port.net)
+            key = (index, port.name)
+            if port.kind is PortKind.TSV_INBOUND and key in bonded_inbound:
+                source_die, source_port_name = bonded_inbound[key]
+                source_port = dies[source_die].port(source_port_name)
+                source_net = net_name(source_die, source_port.net)
+                # Registered crossing: synchronous 3D stacks register
+                # inter-die signals at the receiving die, which keeps
+                # the merged stack combinationally acyclic and makes
+                # every bond point scan-controllable/observable.
+                bond = merged.add_instance(
+                    f"bond/{index}/{port.name}", "SDFF_X1")
+                merged.connect(bond.name, "D", source_net)
+                clock_ports = [p for p in dies[index].ports.values()
+                               if p.kind is PortKind.CLOCK and p.net]
+                if not clock_ports:
+                    raise PartitionError(
+                        f"die {index} has no clock for bond registers")
+                merged.connect(bond.name, "CK",
+                               net_name(index, clock_ports[0].net))
+                merged.connect(bond.name, "Q", local)
+                continue
+            if port.kind is PortKind.TSV_OUTBOUND and key in bonded_outbound:
+                continue  # consumed by the inbound side's bond register
+            merged.add_port(f"die{index}/{port.name}", port.kind,
+                            net=local)
+    return merged
+
+
+def build_postbond_test_view(stack: Stack3D,
+                             wrapped_dies: Optional[List[Netlist]] = None
+                             ) -> TestView:
+    """Post-bond view: scan access everywhere, bonded TSVs functional.
+
+    Test mode stays 0: post-bond interconnect test exercises the real
+    TSV wires through the functional paths (the wrapper muxes must NOT
+    isolate the dies), while all FFs remain scan-controllable.
+    """
+    merged = merge_stack_netlist(stack, wrapped_dies)
+    view = build_prebond_test_view(merged)
+    # Post-bond: test_mode = 0 (functional paths through bonded TSVs).
+    for net in list(view.constant_nets):
+        port_kinds = {p.kind for p in merged.ports.values()
+                      if p.net == net}
+        if PortKind.TEST_MODE in port_kinds:
+            view.constant_nets[net] = 0
+    # Bonded inbound ports were replaced by bond buffers during the
+    # merge, so view.x_nets already holds only the still-external
+    # endpoints — the KGD coverage gap that remains after bonding.
+    return view

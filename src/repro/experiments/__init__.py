@@ -1,0 +1,37 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver regenerates its table/figure from scratch (circuits,
+placement, STA, WCM methods, ATPG) and renders it in the paper's
+layout, alongside the paper's reported values
+(:mod:`repro.experiments.paper_data`) so the shapes can be compared
+directly. See DESIGN.md §5 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured results.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    PreparedDie,
+    prepare_die,
+    resolve_scale,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.overhead import run_overhead
+
+__all__ = [
+    "ExperimentScale",
+    "PreparedDie",
+    "prepare_die",
+    "resolve_scale",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure7",
+    "run_overhead",
+]

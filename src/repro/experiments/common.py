@@ -1,0 +1,205 @@
+"""Shared experiment infrastructure: die preparation cache and scaling.
+
+Scale levels (environment variable ``REPRO_SCALE``):
+
+* ``smoke``   — b11 + b12 only, small ATPG budgets (seconds; used by
+  the test suite and quick bench runs),
+* ``default`` — every circuit except b18, ATPG fault-sampled on the
+  larger dies (the benchmark harness default; tens of minutes for the
+  full set of tables),
+* ``full``    — all six circuits with the largest budgets
+  (``REPRO_SCALE=full``; hours).
+
+Whatever the scale, the *same* code paths run — scaling only trims the
+die list and the ATPG effort, and every driver prints which scale
+produced its numbers. See DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.atpg.engine import AtpgConfig
+from repro.bench.generator import generate_die
+from repro.bench.itc99 import DieProfile, all_die_profiles, die_profile
+from repro.core.config import Scenario, WcmConfig
+from repro.core.problem import WcmProblem, build_problem, tight_clock_for
+from repro.sta.constraints import ClockConstraint
+from repro.util.errors import ConfigError
+
+DEFAULT_SEED = 2019
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One reproducibility/effort level."""
+
+    name: str
+    circuits: Tuple[str, ...]
+    #: ATPG fault-sample cap by die gate count: (small, large) where
+    #: "large" applies above `large_gate_threshold` gates.
+    atpg_sample_small: Optional[int]
+    atpg_sample_large: Optional[int]
+    large_gate_threshold: int
+    atpg_block_width: int
+    atpg_max_blocks: int
+    atpg_podem_limit: Optional[int]
+    estimator_budget: int
+
+    def atpg_config(self, gate_count: int, seed: int = DEFAULT_SEED
+                    ) -> AtpgConfig:
+        sample = (self.atpg_sample_large
+                  if gate_count >= self.large_gate_threshold
+                  else self.atpg_sample_small)
+        return AtpgConfig(
+            seed=seed,
+            block_width=self.atpg_block_width,
+            max_random_blocks=self.atpg_max_blocks,
+            podem_fault_limit=self.atpg_podem_limit,
+            fault_sample=sample,
+        )
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke", circuits=("b11", "b12"),
+        atpg_sample_small=2500, atpg_sample_large=2500,
+        large_gate_threshold=2000,
+        atpg_block_width=128, atpg_max_blocks=8, atpg_podem_limit=300,
+        estimator_budget=1500,
+    ),
+    "default": ExperimentScale(
+        name="default", circuits=("b11", "b12", "b20", "b21", "b22"),
+        atpg_sample_small=None, atpg_sample_large=5000,
+        large_gate_threshold=3000,
+        atpg_block_width=128, atpg_max_blocks=12, atpg_podem_limit=800,
+        estimator_budget=4000,
+    ),
+    "full": ExperimentScale(
+        name="full", circuits=("b11", "b12", "b18", "b20", "b21", "b22"),
+        atpg_sample_small=None, atpg_sample_large=12000,
+        large_gate_threshold=12000,
+        atpg_block_width=192, atpg_max_blocks=20, atpg_podem_limit=2000,
+        estimator_budget=6000,
+    ),
+}
+
+
+def resolve_scale(name: Optional[str] = None) -> ExperimentScale:
+    """Pick the scale: explicit name > $REPRO_SCALE > 'default'."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        chosen = "full"
+    try:
+        return SCALES[chosen]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {chosen!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass
+class PreparedDie:
+    """One die, fully prepared and timed, shared across experiments."""
+
+    profile: DieProfile
+    #: problem under the unconstrained clock (area scenario)
+    problem_area: WcmProblem
+    #: problem re-timed under the tight clock
+    problem_tight: WcmProblem
+    tight_clock: ClockConstraint
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def problem_for(self, scenario: Scenario) -> WcmProblem:
+        return self.problem_tight if scenario.is_timed else self.problem_area
+
+    def scenarios(self) -> Tuple[Scenario, Scenario]:
+        """(area, tight) scenario pair for this die."""
+        return (Scenario.area_optimized(),
+                Scenario.performance_optimized(self.tight_clock.period_ps))
+
+
+_PREPARED: Dict[Tuple[str, int, int], PreparedDie] = {}
+
+
+def prepare_die(circuit: str, die_index: int, seed: int = DEFAULT_SEED
+                ) -> PreparedDie:
+    """Generate, stitch, place and time one die (cached per process)."""
+    key = (circuit, die_index, seed)
+    cached = _PREPARED.get(key)
+    if cached is not None:
+        return cached
+    profile = die_profile(circuit, die_index)
+    netlist = generate_die(profile, seed=seed)
+    problem_area = build_problem(netlist)
+    clock = tight_clock_for(problem_area)
+    prepared = PreparedDie(
+        profile=profile,
+        problem_area=problem_area,
+        problem_tight=problem_area.retime(clock),
+        tight_clock=clock,
+    )
+    _PREPARED[key] = prepared
+    return prepared
+
+
+def dies_for_scale(scale: ExperimentScale,
+                   circuits: Optional[Tuple[str, ...]] = None
+                   ) -> List[Tuple[str, int]]:
+    """(circuit, die) pairs covered at this scale."""
+    wanted = circuits or scale.circuits
+    return [(p.circuit, p.die_index) for p in all_die_profiles()
+            if p.circuit in wanted and p.circuit in scale.circuits]
+
+
+def scale_banner(scale: ExperimentScale, extra: str = "") -> str:
+    note = (f"[scale={scale.name}: circuits {', '.join(scale.circuits)}"
+            f"{'; ' + extra if extra else ''}]")
+    if scale.name != "full":
+        note += " — set REPRO_SCALE=full for the complete sweep"
+    return note
+
+
+# ---------------------------------------------------------------------------
+# Method-run cache (per process) so tables III/IV/V share flow results.
+# ---------------------------------------------------------------------------
+from repro.core.flow import WcmRunResult, run_wcm_flow  # noqa: E402
+from repro.netlist.core import PortKind  # noqa: E402
+
+_RUNS: Dict[tuple, "WcmRunResult"] = {}
+
+
+def method_config(method: str, scenario: Scenario,
+                  scale: ExperimentScale, **overrides) -> WcmConfig:
+    """Build the WcmConfig for 'ours' or 'agrawal' at this scale."""
+    if method == "ours":
+        return WcmConfig.ours(scenario,
+                              estimator_budget=scale.estimator_budget,
+                              **overrides)
+    if method == "agrawal":
+        return WcmConfig.agrawal(scenario, **overrides)
+    raise ConfigError(f"unknown method {method!r}")
+
+
+def run_method(prepared: PreparedDie, config: WcmConfig,
+               order_override: Optional[tuple] = None) -> "WcmRunResult":
+    """Run (and cache) one method/scenario on one prepared die."""
+    key = (prepared.name, config.method, config.scenario.name,
+           config.allow_overlap, config.order_by_set_size, order_override)
+    cached = _RUNS.get(key)
+    if cached is not None:
+        return cached
+    problem = prepared.problem_for(config.scenario)
+    result = run_wcm_flow(problem, config, order_override=order_override)
+    _RUNS[key] = result
+    return result
+
+
+#: explicit orders for the Table I study
+ORDER_INBOUND_FIRST = (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND)
+ORDER_OUTBOUND_FIRST = (PortKind.TSV_OUTBOUND, PortKind.TSV_INBOUND)

@@ -1,0 +1,110 @@
+"""Area-overhead analysis (beyond the paper's cell counts).
+
+The paper argues in cells; silicon argues in um². This driver prices
+every method/scenario plan with the cell library's areas
+(:mod:`repro.dft.area`) and reports DFT area overhead per die — the
+quantity a floorplanner actually pays — alongside the dedicated-cell
+baseline [13] the introduction motivates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.dft.area import plan_area_estimate
+from repro.dft.wrapper import dedicated_plan
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentScale,
+    dies_for_scale,
+    method_config,
+    prepare_die,
+    resolve_scale,
+    run_method,
+    scale_banner,
+)
+from repro.util.tables import AsciiTable, format_percent
+
+
+@dataclass
+class OverheadRow:
+    dedicated_overhead: float
+    agrawal_overhead: float
+    ours_overhead: float
+
+    @property
+    def savings_vs_dedicated(self) -> float:
+        if self.dedicated_overhead == 0:
+            return 0.0
+        return 1.0 - self.ours_overhead / self.dedicated_overhead
+
+
+@dataclass
+class OverheadResult:
+    scale_name: str
+    scenario_name: str
+    rows: Dict[Tuple[str, int], OverheadRow] = field(default_factory=dict)
+
+    def average(self, attr: str) -> float:
+        values = [getattr(r, attr) for r in self.rows.values()]
+        return sum(values) / max(1, len(values))
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["die", "dedicated [13]", "Agrawal [4]", "ours",
+             "ours vs dedicated"],
+            title=(f"DFT area overhead (um² of DFT / um² of logic), "
+                   f"{self.scenario_name} scenario"),
+        )
+        for (circuit, die), row in sorted(self.rows.items()):
+            table.add_row([
+                f"{circuit}_d{die}",
+                format_percent(row.dedicated_overhead),
+                format_percent(row.agrawal_overhead),
+                format_percent(row.ours_overhead),
+                f"-{format_percent(row.savings_vs_dedicated)}",
+            ])
+        table.add_separator()
+        table.add_row([
+            "Average",
+            format_percent(self.average("dedicated_overhead")),
+            format_percent(self.average("agrawal_overhead")),
+            format_percent(self.average("ours_overhead")),
+            f"-{format_percent(self.average('savings_vs_dedicated'))}",
+        ])
+        return table.render()
+
+
+def run_overhead(scale: Optional[ExperimentScale] = None,
+                 seed: int = DEFAULT_SEED, scenario_name: str = "area",
+                 verbose: bool = False) -> OverheadResult:
+    """Price every in-scale die's plans in um²."""
+    scale = scale or resolve_scale()
+    result = OverheadResult(scale_name=scale.name,
+                            scenario_name=scenario_name)
+    for circuit, die_index in dies_for_scale(scale):
+        prepared = prepare_die(circuit, die_index, seed=seed)
+        area, tight = prepared.scenarios()
+        scenario = area if scenario_name == "area" else tight
+        netlist = prepared.problem_area.netlist
+        dedicated = plan_area_estimate(netlist, dedicated_plan(netlist))
+        agrawal = run_method(prepared,
+                             method_config("agrawal", scenario, scale))
+        ours = run_method(prepared, method_config("ours", scenario, scale))
+        result.rows[(circuit, die_index)] = OverheadRow(
+            dedicated_overhead=dedicated.overhead_fraction,
+            agrawal_overhead=plan_area_estimate(
+                netlist, agrawal.plan).overhead_fraction,
+            ours_overhead=plan_area_estimate(
+                netlist, ours.plan).overhead_fraction,
+        )
+        if verbose:
+            row = result.rows[(circuit, die_index)]
+            print(f"  {circuit}_die{die_index}: ours "
+                  f"{row.ours_overhead:.1%} vs dedicated "
+                  f"{row.dedicated_overhead:.1%}")
+    if verbose:
+        print(scale_banner(scale))
+        print(result.render())
+    return result

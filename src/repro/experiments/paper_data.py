@@ -1,0 +1,108 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+Only the values a reproduction compares against are kept: the Table III
+reuse/additional counts and violation tallies, the Table IV averages,
+Table V averages, Table I (the b12 ordering study), and Fig. 7's mean
+edge increase. Everything here is *data from the paper*, never used by
+the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Table I — ordering study on b12 (Agrawal's method, area scenario):
+# (fault coverage %, #wrapper cells) per die, per starting set.
+TABLE1_PAPER: Dict[int, Dict[str, Tuple[float, int]]] = {
+    0: {"inbound": (99.14, 26), "outbound": (99.34, 23)},
+    1: {"inbound": (98.80, 23), "outbound": (98.90, 23)},
+    2: {"inbound": (99.11, 0), "outbound": (99.43, 0)},
+    3: {"inbound": (99.93, 7), "outbound": (99.89, 9)},
+}
+
+# ---------------------------------------------------------------------------
+# Table III — (reused scan FFs, additional wrapper cells) per method.
+# Key: (circuit, die) -> {method_scenario: (reused, additional)}.
+TABLE3_PAPER: Dict[Tuple[str, int], Dict[str, Tuple[int, int]]] = {
+    ("b11", 0): {"agrawal_area": (7, 2), "ours_area": (8, 1),
+                 "agrawal_tight": (6, 3), "ours_tight": (8, 2)},
+    ("b11", 1): {"agrawal_area": (16, 1), "ours_area": (17, 0),
+                 "agrawal_tight": (16, 2), "ours_tight": (17, 0)},
+    ("b11", 2): {"agrawal_area": (14, 0), "ours_area": (14, 0),
+                 "agrawal_tight": (13, 1), "ours_tight": (14, 0)},
+    ("b11", 3): {"agrawal_area": (11, 0), "ours_area": (11, 0),
+                 "agrawal_tight": (10, 2), "ours_tight": (10, 1)},
+    ("b12", 0): {"agrawal_area": (16, 3), "ours_area": (17, 2),
+                 "agrawal_tight": (15, 4), "ours_tight": (16, 3)},
+    ("b12", 1): {"agrawal_area": (31, 0), "ours_area": (31, 0),
+                 "agrawal_tight": (30, 0), "ours_tight": (31, 0)},
+    ("b12", 2): {"agrawal_area": (24, 4), "ours_area": (26, 1),
+                 "agrawal_tight": (24, 5), "ours_tight": (24, 2)},
+    ("b12", 3): {"agrawal_area": (4, 1), "ours_area": (4, 1),
+                 "agrawal_tight": (3, 2), "ours_tight": (3, 2)},
+    ("b18", 0): {"agrawal_area": (275, 125), "ours_area": (275, 125),
+                 "agrawal_tight": (265, 140), "ours_tight": (262, 142)},
+    ("b18", 1): {"agrawal_area": (801, 146), "ours_area": (835, 119),
+                 "agrawal_tight": (782, 159), "ours_tight": (825, 125)},
+    ("b18", 2): {"agrawal_area": (709, 4), "ours_area": (712, 0),
+                 "agrawal_tight": (702, 8), "ours_tight": (708, 5)},
+    ("b18", 3): {"agrawal_area": (328, 64), "ours_area": (330, 61),
+                 "agrawal_tight": (320, 77), "ours_tight": (326, 70)},
+    ("b20", 0): {"agrawal_area": (115, 130), "ours_area": (128, 110),
+                 "agrawal_tight": (110, 139), "ours_tight": (122, 112)},
+    ("b20", 1): {"agrawal_area": (82, 139), "ours_area": (92, 135),
+                 "agrawal_tight": (75, 141), "ours_tight": (90, 131)},
+    ("b20", 2): {"agrawal_area": (115, 131), "ours_area": (120, 135),
+                 "agrawal_tight": (100, 156), "ours_tight": (118, 142)},
+    ("b20", 3): {"agrawal_area": (110, 5), "ours_area": (110, 5),
+                 "agrawal_tight": (108, 7), "ours_tight": (106, 9)},
+    ("b21", 0): {"agrawal_area": (159, 75), "ours_area": (165, 69),
+                 "agrawal_tight": (151, 83), "ours_tight": (160, 75)},
+    ("b21", 1): {"agrawal_area": (144, 196), "ours_area": (142, 200),
+                 "agrawal_tight": (138, 210), "ours_tight": (140, 203)},
+    ("b21", 2): {"agrawal_area": (104, 160), "ours_area": (105, 158),
+                 "agrawal_tight": (104, 160), "ours_tight": (85, 180)},
+    ("b21", 3): {"agrawal_area": (97, 60), "ours_area": (97, 60),
+                 "agrawal_tight": (96, 61), "ours_tight": (96, 61)},
+    ("b22", 0): {"agrawal_area": (168, 170), "ours_area": (166, 175),
+                 "agrawal_tight": (166, 172), "ours_tight": (164, 179)},
+    ("b22", 1): {"agrawal_area": (159, 231), "ours_area": (205, 190),
+                 "agrawal_tight": (14, 252), "ours_tight": (200, 194)},
+    ("b22", 2): {"agrawal_area": (172, 175), "ours_area": (182, 158),
+                 "agrawal_tight": (164, 184), "ours_tight": (175, 161)},
+    ("b22", 3): {"agrawal_area": (100, 125), "ours_area": (100, 125),
+                 "agrawal_tight": (98, 131), "ours_tight": (98, 130)},
+}
+
+#: Table III summary rows: average counts and violation tallies.
+TABLE3_PAPER_SUMMARY = {
+    "agrawal_area": {"reused": 156.71, "additional": 81.13,
+                     "violations": None},
+    "ours_area": {"reused": 162.17, "additional": 76.25, "violations": None},
+    "agrawal_tight": {"reused": 146.25, "additional": 87.46,
+                      "violations": "20/24"},
+    "ours_tight": {"reused": 158.25, "additional": 80.38,
+                   "violations": "0/24"},
+}
+
+# ---------------------------------------------------------------------------
+# Table IV — averages of (stuck-at coverage %, patterns) and
+# (transition coverage %, patterns) under tight timing.
+TABLE4_PAPER_AVERAGE = {
+    "agrawal": {"stuck_at": (99.64, 844.21), "transition": (99.29, 1640.54)},
+    "ours": {"stuck_at": (99.64, 839.50), "transition": (99.29, 1638.04)},
+}
+
+# ---------------------------------------------------------------------------
+# Table V — with/without overlapped cones (b20-b22, tight timing).
+TABLE5_PAPER_AVERAGE = {
+    "no_overlap": {"reused": 129.50, "additional": 132.08,
+                   "stuck_at": (99.74, 1052.42), "transition": (99.15, 1941.67)},
+    "overlap": {"reused": 130.67, "additional": 129.42,
+                "stuck_at": (99.51, 1043.50), "transition": (99.00, 1931.67)},
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — average edge-count increase from allowing overlapped cones.
+FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT = 2.83

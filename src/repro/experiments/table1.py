@@ -1,0 +1,114 @@
+"""Table I — does the TSV-set processing order matter?
+
+Runs Agrawal's method on the four b12 dies twice: starting from the
+inbound set and from the outbound set. Reports the stuck-at fault
+coverage of the wrapped die and the number of additional wrapper
+cells, as the paper does. The claim to preserve: starting from the
+*larger* set is no worse (it motivated Section IV-A).
+
+The study runs under the tight-timing scenario: ordering matters only
+when the per-FF reuse budgets bind (in the unconstrained area scenario
+both orders produce identical plans by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.flow import measure_testability
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentScale,
+    ORDER_INBOUND_FIRST,
+    ORDER_OUTBOUND_FIRST,
+    method_config,
+    prepare_die,
+    resolve_scale,
+    run_method,
+    scale_banner,
+)
+from repro.experiments.paper_data import TABLE1_PAPER
+from repro.util.tables import AsciiTable, format_percent
+
+
+@dataclass
+class Table1Cell:
+    coverage: float
+    wrapper_cells: int
+
+
+@dataclass
+class Table1Result:
+    scale_name: str
+    #: die index -> {"inbound"/"outbound": cell}
+    rows: Dict[int, Dict[str, Table1Cell]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["die", "#inbound", "#outbound",
+             "start inbound: coverage", "#cells",
+             "start outbound: coverage", "#cells",
+             "paper (in)", "paper (out)"],
+            title="Table I — starting TSV set, Agrawal's method on b12",
+        )
+        from repro.bench.itc99 import die_profile
+        for die_index, row in sorted(self.rows.items()):
+            profile = die_profile("b12", die_index)
+            paper = TABLE1_PAPER[die_index]
+            table.add_row([
+                f"Die{die_index}", profile.inbound_tsvs,
+                profile.outbound_tsvs,
+                format_percent(row["inbound"].coverage),
+                row["inbound"].wrapper_cells,
+                format_percent(row["outbound"].coverage),
+                row["outbound"].wrapper_cells,
+                f"{paper['inbound'][0]}%/{paper['inbound'][1]}",
+                f"{paper['outbound'][0]}%/{paper['outbound'][1]}",
+            ])
+        return table.render()
+
+    def larger_set_no_worse(self) -> bool:
+        """The paper's takeaway: start from the larger set."""
+        from repro.bench.itc99 import die_profile
+        verdicts = []
+        for die_index, row in self.rows.items():
+            profile = die_profile("b12", die_index)
+            larger = ("outbound" if profile.outbound_tsvs
+                      >= profile.inbound_tsvs else "inbound")
+            smaller = "inbound" if larger == "outbound" else "outbound"
+            verdicts.append(
+                row[larger].wrapper_cells <= row[smaller].wrapper_cells
+                or row[larger].coverage >= row[smaller].coverage
+            )
+        return sum(verdicts) >= (len(verdicts) + 1) // 2
+
+
+def run_table1(scale: Optional[ExperimentScale] = None,
+               seed: int = DEFAULT_SEED, verbose: bool = False
+               ) -> Table1Result:
+    scale = scale or resolve_scale()
+    result = Table1Result(scale_name=scale.name)
+    for die_index in range(4):
+        prepared = prepare_die("b12", die_index, seed=seed)
+        _area, tight = prepared.scenarios()
+        config = method_config("agrawal", tight, scale)
+        row: Dict[str, Table1Cell] = {}
+        for label, order in (("inbound", ORDER_INBOUND_FIRST),
+                             ("outbound", ORDER_OUTBOUND_FIRST)):
+            run = run_method(prepared, config, order_override=order)
+            atpg = scale.atpg_config(prepared.profile.gates, seed=seed)
+            report = measure_testability(run, atpg, include_transition=False)
+            row[label] = Table1Cell(
+                coverage=report.stuck_at.coverage,
+                wrapper_cells=run.additional_wrapper_cells,
+            )
+        result.rows[die_index] = row
+        if verbose:
+            print(f"  b12_die{die_index}: inbound-first "
+                  f"{row['inbound'].wrapper_cells} cells, outbound-first "
+                  f"{row['outbound'].wrapper_cells} cells")
+    if verbose:
+        print(scale_banner(scale))
+        print(result.render())
+    return result

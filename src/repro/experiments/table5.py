@@ -1,0 +1,133 @@
+"""Table V — the effect of allowing overlapped fan-in/fan-out cones.
+
+Runs the proposed method twice on the b20/b21/b22 dies under tight
+timing: once with overlapped-cone FF reuse forbidden, once allowed
+(``cov_th = 0.5 %``, ``p_th = 10``). Shapes to preserve: allowing
+overlap reuses slightly more FFs and inserts fewer additional cells,
+at a sub-``cov_th`` coverage cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.flow import measure_testability
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentScale,
+    dies_for_scale,
+    method_config,
+    prepare_die,
+    resolve_scale,
+    run_method,
+    scale_banner,
+)
+from repro.experiments.paper_data import TABLE5_PAPER_AVERAGE
+from repro.util.tables import AsciiTable, format_pair
+
+#: the paper restricts Table V to the three largest circuit families
+TABLE5_CIRCUITS = ("b20", "b21", "b22")
+
+
+@dataclass
+class Table5Cell:
+    reused: int
+    additional: int
+    stuck_at: Tuple[float, int]
+    transition: Tuple[float, int]
+
+
+@dataclass
+class Table5Result:
+    scale_name: str
+    #: (circuit, die) -> {"no_overlap"/"overlap": cell}
+    cells: Dict[Tuple[str, int], Dict[str, Table5Cell]] = field(
+        default_factory=dict)
+
+    def average(self, key: str, attr: str):
+        values = [getattr(row[key], attr) for row in self.cells.values()]
+        count = max(1, len(values))
+        if attr in ("stuck_at", "transition"):
+            return (sum(v[0] for v in values) / count,
+                    sum(v[1] for v in values) / count)
+        return sum(values) / count
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["die",
+             "no-ov r", "no-ov a", "no-ov SA", "no-ov TF",
+             "ov r", "ov a", "ov SA", "ov TF"],
+            title=("Table V — without / with overlapped-cone FF reuse "
+                   "(tight timing)"),
+        )
+        for (circuit, die), row in sorted(self.cells.items()):
+            no = row["no_overlap"]
+            ov = row["overlap"]
+            table.add_row([
+                f"{circuit}_d{die}",
+                no.reused, no.additional,
+                format_pair(*no.stuck_at), format_pair(*no.transition),
+                ov.reused, ov.additional,
+                format_pair(*ov.stuck_at), format_pair(*ov.transition),
+            ])
+        table.add_separator()
+        summary = ["Average"]
+        for key in ("no_overlap", "overlap"):
+            summary.append(f"{self.average(key, 'reused'):.2f}")
+            summary.append(f"{self.average(key, 'additional'):.2f}")
+            cov, pat = self.average(key, "stuck_at")
+            summary.append(format_pair(cov, round(pat, 1)))
+            cov, pat = self.average(key, "transition")
+            summary.append(format_pair(cov, round(pat, 1)))
+        table.add_row(summary)
+        lines = [table.render(), ""]
+        paper = TABLE5_PAPER_AVERAGE
+        lines.append(
+            "Paper averages: no-overlap "
+            f"{paper['no_overlap']['reused']}/"
+            f"{paper['no_overlap']['additional']}, overlap "
+            f"{paper['overlap']['reused']}/{paper['overlap']['additional']} "
+            f"(cells {100 * paper['overlap']['additional'] / paper['no_overlap']['additional']:.1f}% of no-overlap)"
+        )
+        return "\n".join(lines)
+
+
+def run_table5(scale: Optional[ExperimentScale] = None,
+               seed: int = DEFAULT_SEED, verbose: bool = False
+               ) -> Table5Result:
+    scale = scale or resolve_scale()
+    result = Table5Result(scale_name=scale.name)
+    dies = dies_for_scale(scale, circuits=TABLE5_CIRCUITS)
+    if not dies:
+        # Smoke scale has no b20-22; fall back to whatever is in scope
+        # so the machinery still runs end to end.
+        dies = dies_for_scale(scale)
+    for circuit, die_index in dies:
+        prepared = prepare_die(circuit, die_index, seed=seed)
+        _area, tight = prepared.scenarios()
+        atpg = scale.atpg_config(prepared.profile.gates, seed=seed)
+        row: Dict[str, Table5Cell] = {}
+        for key in ("no_overlap", "overlap"):
+            config = method_config("ours", tight, scale)
+            if key == "no_overlap":
+                config = config.without_overlap()
+            run = run_method(prepared, config)
+            report = measure_testability(run, atpg)
+            row[key] = Table5Cell(
+                reused=run.reused_scan_ffs,
+                additional=run.additional_wrapper_cells,
+                stuck_at=(report.stuck_at.coverage,
+                          report.stuck_at.pattern_count),
+                transition=(report.transition.coverage,
+                            report.transition.pattern_count),
+            )
+        result.cells[(circuit, die_index)] = row
+        if verbose:
+            print(f"  {circuit}_die{die_index}: "
+                  f"no-ov {row['no_overlap'].reused}/{row['no_overlap'].additional} "
+                  f"ov {row['overlap'].reused}/{row['overlap'].additional}")
+    if verbose:
+        print(scale_banner(scale))
+        print(result.render())
+    return result

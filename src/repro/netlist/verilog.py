@@ -1,0 +1,139 @@
+"""Structural Verilog writer and reader.
+
+The paper's flow hands synthesized gate-level netlists between tools;
+we provide the same interchange point so generated dies can be dumped,
+inspected, and re-read. The subset is flat structural Verilog with
+named port connections — exactly what the writer emits.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.netlist.core import Netlist, PortDirection, PortKind
+from repro.netlist.library import Library, default_library
+from repro.util.errors import NetlistError
+
+_KIND_COMMENT = {
+    PortKind.PRIMARY_INPUT: "primary_input",
+    PortKind.PRIMARY_OUTPUT: "primary_output",
+    PortKind.TSV_INBOUND: "tsv_inbound",
+    PortKind.TSV_OUTBOUND: "tsv_outbound",
+    PortKind.CLOCK: "clock",
+    PortKind.SCAN_IN: "scan_in",
+    PortKind.SCAN_OUT: "scan_out",
+    PortKind.SCAN_ENABLE: "scan_enable",
+    PortKind.TEST_MODE: "test_mode",
+    PortKind.PSEUDO_INPUT: "pseudo_input",
+    PortKind.PSEUDO_OUTPUT: "pseudo_output",
+}
+_COMMENT_KIND = {v: k for k, v in _KIND_COMMENT.items()}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_$]", "_", name)
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize *netlist* to flat structural Verilog.
+
+    Port kinds (TSV inbound/outbound, scan, clock) are preserved in
+    per-port ``// kind:`` comments so a round-trip keeps the DFT view.
+    """
+    lines: List[str] = []
+    module = _sanitize(netlist.name)
+    port_names = [_sanitize(p.name) for p in netlist.ports.values()]
+    lines.append(f"module {module} (")
+    lines.append("    " + ", ".join(port_names))
+    lines.append(");")
+    lines.append("")
+
+    for port in netlist.ports.values():
+        direction = "input" if port.direction is PortDirection.INPUT else "output"
+        kind = _KIND_COMMENT[port.kind]
+        lines.append(f"  {direction} {_sanitize(port.name)};  // kind: {kind}")
+    lines.append("")
+
+    declared = {_sanitize(p.name) for p in netlist.ports.values()}
+    for net in netlist.nets.values():
+        wire = _sanitize(net.name)
+        if wire not in declared:
+            lines.append(f"  wire {wire};")
+    lines.append("")
+
+    for inst in netlist.instances.values():
+        conns = ", ".join(
+            f".{pin}({_sanitize(net)})" for pin, net in sorted(inst.connections.items())
+        )
+        lines.append(f"  {inst.cell.name} {_sanitize(inst.name)} ({conns});")
+
+    # Ports whose external name differs from the attached net need an
+    # explicit alias so a reader can reconnect them.
+    lines.append("")
+    for port in netlist.ports.values():
+        if port.net is not None and _sanitize(port.net) != _sanitize(port.name):
+            lines.append(
+                f"  // connect_port {_sanitize(port.name)} -> {_sanitize(port.net)}"
+            )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_PORT_RE = re.compile(
+    rf"(input|output)\s+({_IDENT})\s*;\s*//\s*kind:\s*(\w+)"
+)
+_WIRE_RE = re.compile(rf"wire\s+({_IDENT})\s*;")
+_INST_RE = re.compile(rf"({_IDENT})\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_PIN_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+_ALIAS_RE = re.compile(rf"//\s*connect_port\s+({_IDENT})\s*->\s*({_IDENT})")
+
+
+def read_verilog(text: str, library: Optional[Library] = None) -> Netlist:
+    """Parse the structural subset produced by :func:`write_verilog`."""
+    library = library or default_library()
+    module_match = _MODULE_RE.search(text)
+    if module_match is None:
+        raise NetlistError("no module declaration found")
+    netlist = Netlist(module_match.group(1), library)
+
+    aliases: Dict[str, str] = {
+        m.group(1): m.group(2) for m in _ALIAS_RE.finditer(text)
+    }
+
+    port_kinds: Dict[str, PortKind] = {}
+    for match in _PORT_RE.finditer(text):
+        _direction, name, kind_word = match.groups()
+        kind = _COMMENT_KIND.get(kind_word)
+        if kind is None:
+            raise NetlistError(f"unknown port kind comment {kind_word!r}")
+        port_kinds[name] = kind
+
+    for match in _WIRE_RE.finditer(text):
+        if match.group(1) not in netlist.nets:
+            netlist.add_net(match.group(1))
+
+    body = text[module_match.end():]
+    for match in _INST_RE.finditer(body):
+        cell_name, inst_name, conn_text = match.groups()
+        if cell_name in ("input", "output", "wire", "module"):
+            continue
+        if cell_name not in library:
+            continue  # tolerate unknown macros in foreign netlists
+        netlist.add_instance(inst_name, cell_name)
+        for pin_match in _PIN_RE.finditer(conn_text):
+            pin, net = pin_match.groups()
+            if net not in netlist.nets:
+                netlist.add_net(net)
+            netlist.connect(inst_name, pin, net)
+
+    for name, kind in port_kinds.items():
+        net_name = aliases.get(name, name)
+        if net_name not in netlist.nets:
+            netlist.add_net(net_name)
+        netlist.add_port(name, kind, net=net_name)
+
+    return netlist

@@ -1,0 +1,26 @@
+"""Physical placement substrate.
+
+The WCM timing model needs (x, y) coordinates for scan flip-flops and
+TSVs to evaluate ``distance(n1, n2)`` and wire delay. This package
+provides a force-directed placer with grid legalization, a TSV-array
+placement (3D-ICs distribute TSVs across the die area, not on the
+periphery), and wirelength/distance queries — standing in for the
+paper's 3D-Craft physical design step.
+"""
+
+from repro.place.placer import PlacementConfig, place_die
+from repro.place.wirelength import (
+    hpwl_of_net,
+    manhattan,
+    total_hpwl,
+    wire_length_um,
+)
+
+__all__ = [
+    "PlacementConfig",
+    "place_die",
+    "hpwl_of_net",
+    "manhattan",
+    "total_hpwl",
+    "wire_length_um",
+]

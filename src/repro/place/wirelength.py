@@ -1,0 +1,39 @@
+"""Wirelength and distance metrics over a placed netlist."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.netlist.core import Netlist
+
+
+def manhattan(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Manhattan distance in um — routing distance on a gridded fabric."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def wire_length_um(netlist: Netlist, name_a: str, name_b: str) -> float:
+    """Estimated routed length between two placed objects (um)."""
+    return manhattan(netlist.location_of(name_a), netlist.location_of(name_b))
+
+
+def hpwl_of_net(netlist: Netlist, net_name: str) -> float:
+    """Half-perimeter wirelength of one net (um)."""
+    net = netlist.net(net_name)
+    xs = []
+    ys = []
+    endpoints = list(net.sinks)
+    if net.driver is not None:
+        endpoints.append(net.driver)
+    for pin in endpoints:
+        x, y = netlist.location_of(pin.owner_name)
+        xs.append(x)
+        ys.append(y)
+    if len(xs) < 2:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(netlist: Netlist) -> float:
+    """Total HPWL over all nets (um) — the placer's quality metric."""
+    return sum(hpwl_of_net(netlist, name) for name in netlist.nets)

@@ -1,0 +1,130 @@
+"""Critical-path extraction: stage-by-stage timing reports.
+
+``worst_paths`` reconstructs the N worst capture paths of a
+:class:`~repro.sta.timer.TimingResult` by walking each endpoint's
+worst-arrival chain backwards — the report a designer reads to find
+*why* an endpoint violates (and exactly what the sign-off repair loop
+in :mod:`repro.core.flow` walks when attributing a violation to a
+wrapper group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.netlist.core import Netlist
+from repro.sta.timer import TimingResult
+from repro.util.tables import AsciiTable
+
+
+@dataclass
+class PathStage:
+    """One net along a timing path."""
+
+    net: str
+    driver: str          # instance or port name ("" for sources)
+    cell: str            # cell type name ("-" for ports)
+    arrival_ps: float
+    #: delay contributed by this stage (arrival - previous arrival)
+    stage_delay_ps: float
+
+
+@dataclass
+class TimingPath:
+    """One endpoint's worst path, source first."""
+
+    endpoint: str
+    endpoint_kind: str
+    slack_ps: float
+    stages: List[PathStage] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages)
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["net", "driver", "cell", "arrival (ps)", "+delay (ps)"],
+            title=(f"Path to {self.endpoint} ({self.endpoint_kind}), "
+                   f"slack {self.slack_ps:+.1f} ps"),
+        )
+        for stage in self.stages:
+            table.add_row([
+                stage.net, stage.driver or "(source)", stage.cell,
+                f"{stage.arrival_ps:.1f}", f"{stage.stage_delay_ps:+.1f}",
+            ])
+        return table.render()
+
+
+def _trace_endpoint(netlist: Netlist, result: TimingResult,
+                    endpoint_name: str, max_depth: int = 256
+                    ) -> List[PathStage]:
+    """Walk the worst-arrival chain from an endpoint back to a source."""
+    if endpoint_name in netlist.instances:
+        current = netlist.instances[endpoint_name].connections.get("D")
+    elif endpoint_name in netlist.ports:
+        current = netlist.ports[endpoint_name].net
+    else:
+        return []
+
+    reversed_stages: List[PathStage] = []
+    for _ in range(max_depth):
+        if current is None:
+            break
+        arrival = result.arrival_ps.get(current, 0.0)
+        net = netlist.nets.get(current)
+        if net is None or net.driver is None:
+            reversed_stages.append(PathStage(current, "", "-", arrival, 0.0))
+            break
+        if net.driver.is_port:
+            reversed_stages.append(PathStage(
+                current, net.driver.owner_name, "-", arrival, 0.0))
+            break
+        inst = netlist.instances[net.driver.owner_name]
+        candidates = [(pin, innet) for pin, innet in inst.input_nets()
+                      if pin not in ("CK", "SE", "SI")
+                      and innet in result.arrival_ps]
+        if not candidates:
+            reversed_stages.append(PathStage(
+                current, inst.name, inst.cell.name, arrival, arrival))
+            break
+        worst_net = max(candidates,
+                        key=lambda pn: result.arrival_ps.get(pn[1], 0.0))[1]
+        previous = result.arrival_ps.get(worst_net, 0.0)
+        reversed_stages.append(PathStage(
+            current, inst.name, inst.cell.name, arrival,
+            arrival - previous))
+        if inst.is_sequential:
+            break
+        current = worst_net
+
+    reversed_stages.reverse()
+    return reversed_stages
+
+
+def worst_paths(netlist: Netlist, result: TimingResult, count: int = 5,
+                violating_only: bool = False) -> List[TimingPath]:
+    """The *count* worst endpoint paths (most negative slack first)."""
+    endpoints = sorted(result.endpoints, key=lambda e: e.slack_ps)
+    paths: List[TimingPath] = []
+    for endpoint in endpoints:
+        if violating_only and not endpoint.violated:
+            break
+        paths.append(TimingPath(
+            endpoint=endpoint.name,
+            endpoint_kind=endpoint.kind,
+            slack_ps=endpoint.slack_ps,
+            stages=_trace_endpoint(netlist, result, endpoint.name),
+        ))
+        if len(paths) >= count:
+            break
+    return paths
+
+
+def render_worst_paths(netlist: Netlist, result: TimingResult,
+                       count: int = 3) -> str:
+    """A multi-path report (the `report_timing`-style dump)."""
+    sections = [path.render()
+                for path in worst_paths(netlist, result, count)]
+    return "\n\n".join(sections) if sections else "(no timed endpoints)"

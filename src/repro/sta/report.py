@@ -1,0 +1,68 @@
+"""Human-readable timing reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.sta.timer import TimingResult
+from repro.util.tables import AsciiTable
+
+
+@dataclass
+class TimingReport:
+    """Condensed view of a :class:`TimingResult` for logs and examples."""
+
+    netlist_name: str
+    period_ps: float
+    critical_path_ps: float
+    worst_slack_ps: float
+    violation_count: int
+    endpoint_count: int
+
+    @classmethod
+    def from_result(cls, result: TimingResult) -> "TimingReport":
+        period = (result.constraint.period_ps
+                  if result.constraint.is_constrained else math.inf)
+        return cls(
+            netlist_name=result.netlist_name,
+            period_ps=period,
+            critical_path_ps=result.critical_path_ps,
+            worst_slack_ps=result.worst_slack_ps,
+            violation_count=len(result.violations),
+            endpoint_count=len(result.endpoints),
+        )
+
+
+def render_timing_report(result: TimingResult, worst_n: int = 10) -> str:
+    """Render a PrimeTime-flavoured summary plus the worst endpoints."""
+    report = TimingReport.from_result(result)
+    lines: List[str] = [
+        f"Timing report for {report.netlist_name}",
+        f"  clock period     : "
+        + ("unconstrained" if math.isinf(report.period_ps)
+           else f"{report.period_ps:.1f} ps"),
+        f"  critical path    : {report.critical_path_ps:.1f} ps",
+        f"  worst slack      : "
+        + ("+inf" if math.isinf(report.worst_slack_ps)
+           else f"{report.worst_slack_ps:.1f} ps"),
+        f"  endpoints        : {report.endpoint_count}"
+        f" ({report.violation_count} violated)",
+    ]
+    worst = sorted(result.endpoints, key=lambda e: e.slack_ps)[:worst_n]
+    if worst and not math.isinf(worst[0].slack_ps):
+        table = AsciiTable(["endpoint", "kind", "arrival (ps)",
+                            "required (ps)", "slack (ps)"])
+        for endpoint in worst:
+            table.add_row([
+                endpoint.name,
+                endpoint.kind,
+                f"{endpoint.arrival_ps:.1f}",
+                "inf" if math.isinf(endpoint.required_ps)
+                else f"{endpoint.required_ps:.1f}",
+                "inf" if math.isinf(endpoint.slack_ps)
+                else f"{endpoint.slack_ps:.1f}",
+            ])
+        lines.append(table.render())
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Levelized static timing analysis.
+
+Forward pass computes arrival times at every net (at its driver output
+pin), backward pass computes required times; slack follows. Wire delay
+between a net's driver and each sink uses the placement distance and
+the Elmore model; disabling the wire model reproduces [4]'s load-only
+timing.
+
+Conventions:
+
+* paths launch at input-direction ports (arrival = ``input_delay_ps``)
+  and at flip-flop outputs (arrival = FF cell delay under its load),
+* paths capture at FF ``D``/``SI`` pins (required = period - setup) and
+  at output-direction ports (required = period - output margin),
+* nets driven by clock / scan-enable / test-mode ports carry no timing,
+* an unconstrained clock (``period_ps=None``) yields +inf required
+  times, so slacks are +inf and nothing violates — the paper's
+  area-optimized scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.core import Instance, Net, Netlist, Pin, PortDirection, PortKind
+from repro.netlist.topology import topological_instances
+from repro.sta.constraints import ClockConstraint, UNCONSTRAINED
+from repro.sta.delay import WireModel
+from repro.util.errors import TimingError
+
+INF = math.inf
+
+#: Port kinds excluded from the timing graph.
+_UNTIMED_PORT_KINDS = {PortKind.CLOCK, PortKind.SCAN_ENABLE, PortKind.TEST_MODE}
+
+#: TSV landing pad + via capacitance seen by an outbound TSV driver (fF).
+DEFAULT_TSV_CAP_FF = 15.0
+
+#: 3-valued unknown used by case analysis
+_X = 2
+
+
+def default_case(netlist: Netlist, test_mode: int = 0) -> Dict[str, int]:
+    """The usual sign-off case analysis: scan_enable = 0 and test_mode
+    as given. Functional sign-off uses ``test_mode=0`` (wrapper mux B
+    paths excluded), the at-speed capture check ``test_mode=1``."""
+    case: Dict[str, int] = {}
+    for port in netlist.ports.values():
+        if port.net is None:
+            continue
+        if port.kind is PortKind.TEST_MODE:
+            case[port.net] = test_mode
+        elif port.kind is PortKind.SCAN_ENABLE:
+            case[port.net] = 0
+    return case
+
+
+@dataclass
+class EndpointSlack:
+    """Slack at one capture endpoint."""
+
+    kind: str  # "ff_d", "ff_si", "port"
+    name: str  # instance or port name
+    arrival_ps: float
+    required_ps: float
+
+    @property
+    def slack_ps(self) -> float:
+        return self.required_ps - self.arrival_ps
+
+    @property
+    def violated(self) -> bool:
+        return self.slack_ps < 0.0
+
+
+@dataclass
+class TimingResult:
+    """Full STA result for one die under one constraint set."""
+
+    netlist_name: str
+    constraint: ClockConstraint
+    arrival_ps: Dict[str, float]
+    required_ps: Dict[str, float]
+    net_load_ff: Dict[str, float]
+    endpoints: List[EndpointSlack]
+    port_slack_ps: Dict[str, float]
+    critical_path_ps: float
+
+    @property
+    def worst_slack_ps(self) -> float:
+        if not self.endpoints:
+            return INF
+        return min(e.slack_ps for e in self.endpoints)
+
+    @property
+    def violations(self) -> List[EndpointSlack]:
+        return [e for e in self.endpoints if e.violated]
+
+    @property
+    def has_violation(self) -> bool:
+        return any(e.violated for e in self.endpoints)
+
+    def slack_of_net(self, net_name: str) -> float:
+        req = self.required_ps.get(net_name, INF)
+        arr = self.arrival_ps.get(net_name, 0.0)
+        return req - arr
+
+    def slack_of_port(self, port_name: str) -> float:
+        try:
+            return self.port_slack_ps[port_name]
+        except KeyError:
+            raise TimingError(
+                f"{self.netlist_name}: no timed endpoint for port {port_name!r}"
+            ) from None
+
+    def load_of_net(self, net_name: str) -> float:
+        return self.net_load_ff.get(net_name, 0.0)
+
+
+class TimingAnalyzer:
+    """STA engine bound to one netlist, wire model and TSV cap."""
+
+    def __init__(self, netlist: Netlist, wire_model: Optional[WireModel] = None,
+                 tsv_cap_ff: float = DEFAULT_TSV_CAP_FF) -> None:
+        self.netlist = netlist
+        self.wire = wire_model or WireModel()
+        self.tsv_cap_ff = tsv_cap_ff
+
+    # ------------------------------------------------------------------
+    def _positions(self) -> Dict[str, Tuple[float, float]]:
+        pos: Dict[str, Tuple[float, float]] = {}
+        for inst in self.netlist.instances.values():
+            pos[inst.name] = (inst.x, inst.y)
+        for port in self.netlist.ports.values():
+            pos[port.name] = (port.x, port.y)
+        return pos
+
+    def _sink_cap(self, sink: Pin) -> float:
+        if sink.is_port:
+            port = self.netlist.port(sink.owner_name)
+            return self.tsv_cap_ff if port.kind is PortKind.TSV_OUTBOUND else 2.0
+        if sink.pin_name == "SI":
+            # Scan-shift paths are timed at the (slow) shift clock and
+            # chain routing rides dedicated resources; excluding SI
+            # keeps functional/test sign-off independent of chain order.
+            return 0.0
+        inst = self.netlist.instance(sink.owner_name)
+        return inst.cell.input_cap(sink.pin_name)
+
+    def compute_loads(self) -> Dict[str, float]:
+        """Per-net capacitive load: sink pin caps + star wire cap.
+
+        This is the quantity Algorithm 1 compares against ``cap_th``
+        for inbound TSVs.
+        """
+        pos = self._positions()
+        loads: Dict[str, float] = {}
+        for net in self.netlist.nets.values():
+            total = 0.0
+            driver_pos = (pos[net.driver.owner_name]
+                          if net.driver is not None else None)
+            for sink in net.sinks:
+                if not sink.is_port and sink.pin_name == "SI":
+                    continue  # scan chain: shift-clock domain
+                total += self._sink_cap(sink)
+                if driver_pos is not None:
+                    sink_pos = pos[sink.owner_name]
+                    length = (abs(driver_pos[0] - sink_pos[0])
+                              + abs(driver_pos[1] - sink_pos[1]))
+                    total += self.wire.wire_cap_ff(length)
+            loads[net.name] = total
+        return loads
+
+    # ------------------------------------------------------------------
+    def _propagate_constants(self, case: Dict[str, int]) -> Dict[str, int]:
+        """3-valued constant propagation of the case-analysis values."""
+        from repro.atpg.podem import _eval3  # shared 3-valued evaluator
+
+        consts: Dict[str, int] = dict(case)
+        for name in topological_instances(self.netlist):
+            inst = self.netlist.instance(name)
+            ins = [consts.get(net, _X) for _pin, net in inst.input_nets()
+                   if _pin not in ("CK", "SE", "SI")]
+            out = inst.output_net()
+            if out is None:
+                continue
+            value = _eval3(inst.cell.function, ins) if ins else _X
+            if value != _X:
+                consts[out] = value
+        return consts
+
+    def analyze(self, constraint: ClockConstraint = UNCONSTRAINED,
+                case: Optional[Dict[str, int]] = None) -> TimingResult:
+        """STA under *constraint*, optionally with case analysis.
+
+        *case* maps net names to constant 0/1 (see :func:`default_case`).
+        Constant nets carry no transitions: they are neither timing
+        startpoints nor endpoints, and a mux whose select is constant
+        passes arrival only from the selected data input.
+        """
+        netlist = self.netlist
+        pos = self._positions()
+        loads = self.compute_loads()
+        consts = self._propagate_constants(case) if case else {}
+
+        untimed_nets = {
+            port.net for port in netlist.ports.values()
+            if port.kind in _UNTIMED_PORT_KINDS and port.net is not None
+        }
+        untimed_nets |= set(consts)
+
+        def active_input_nets(inst: Instance) -> List[tuple]:
+            """(pin, net) pairs that can propagate a transition."""
+            out_net = inst.output_net()
+            if out_net is not None and out_net in consts:
+                return []
+            pairs = [(p, n) for p, n in inst.input_nets()
+                     if p not in ("CK", "SE", "SI") and n not in untimed_nets]
+            if inst.cell.function == "mux2":
+                s_net = inst.connections.get("S")
+                s_val = consts.get(s_net, _X) if s_net else _X
+                if s_val == 0:
+                    pairs = [(p, n) for p, n in pairs if p != "B"]
+                elif s_val == 1:
+                    pairs = [(p, n) for p, n in pairs if p != "A"]
+            return pairs
+
+        def wire_delay(net: Net, sink: Pin) -> float:
+            if net.driver is None:
+                return 0.0
+            dpos = pos[net.driver.owner_name]
+            spos = pos[sink.owner_name]
+            length = abs(dpos[0] - spos[0]) + abs(dpos[1] - spos[1])
+            return self.wire.wire_delay_ps(length, self._sink_cap(sink))
+
+        # ---- forward: arrival at net driver outputs --------------------
+        arrival: Dict[str, float] = {}
+        for port in netlist.ports.values():
+            if port.direction is PortDirection.INPUT and port.net is not None \
+                    and port.kind not in _UNTIMED_PORT_KINDS:
+                arrival[port.net] = constraint.input_delay_ps
+        for inst in netlist.flip_flops():
+            out = inst.output_net()
+            if out is not None:
+                arrival[out] = inst.cell.delay_ps(loads.get(out, 0.0))
+
+        for name in topological_instances(netlist):
+            inst = netlist.instance(name)
+            active = active_input_nets(inst)
+            out = inst.output_net()
+            if out is None or out in consts:
+                continue
+            worst_in = 0.0
+            for pin_name, net_name in active:
+                net = netlist.net(net_name)
+                pin_arrival = (arrival.get(net_name, 0.0)
+                               + wire_delay(net, inst.pin(pin_name)))
+                worst_in = max(worst_in, pin_arrival)
+            arrival[out] = worst_in + inst.cell.delay_ps(loads.get(out, 0.0))
+
+        # ---- endpoints ---------------------------------------------------
+        period = constraint.period_ps if constraint.is_constrained else INF
+        ff_required = period - constraint.setup_ps if period is not INF else INF
+        port_required = (period - constraint.output_margin_ps
+                         if period is not INF else INF)
+
+        endpoints: List[EndpointSlack] = []
+        port_slack: Dict[str, float] = {}
+        critical = 0.0
+
+        for inst in netlist.flip_flops():
+            net_name = inst.connections.get("D")
+            if net_name is None or net_name in untimed_nets:
+                continue
+            net = netlist.net(net_name)
+            pin_arrival = (arrival.get(net_name, 0.0)
+                           + wire_delay(net, inst.pin("D")))
+            critical = max(critical, pin_arrival + constraint.setup_ps)
+            endpoints.append(EndpointSlack(
+                kind="ff_d",
+                name=inst.name,
+                arrival_ps=pin_arrival,
+                required_ps=ff_required,
+            ))
+
+        for port in netlist.ports.values():
+            if port.direction is not PortDirection.OUTPUT or port.net is None \
+                    or port.net in consts:
+                continue
+            net = netlist.net(port.net)
+            pin_arrival = arrival.get(port.net, 0.0) + wire_delay(net, port.pin())
+            critical = max(critical, pin_arrival + constraint.output_margin_ps)
+            endpoint = EndpointSlack(
+                kind="port", name=port.name,
+                arrival_ps=pin_arrival, required_ps=port_required,
+            )
+            endpoints.append(endpoint)
+            port_slack[port.name] = endpoint.slack_ps
+
+        # ---- backward: required time at each net ------------------------
+        required: Dict[str, float] = {}
+
+        def relax(net_name: str, value: float) -> None:
+            current = required.get(net_name, INF)
+            if value < current:
+                required[net_name] = value
+
+        for inst in netlist.flip_flops():
+            net_name = inst.connections.get("D")
+            if net_name is None or net_name in untimed_nets:
+                continue
+            net = netlist.net(net_name)
+            relax(net_name, ff_required - wire_delay(net, inst.pin("D")))
+        for port in netlist.ports.values():
+            if port.direction is PortDirection.OUTPUT and port.net is not None:
+                net = netlist.net(port.net)
+                relax(port.net,
+                      port_required - wire_delay(net, port.pin()))
+
+        for name in reversed(topological_instances(netlist)):
+            inst = netlist.instance(name)
+            out = inst.output_net()
+            if out is None or out in consts:
+                continue
+            out_required = required.get(out, INF)
+            if out_required is INF:
+                continue
+            budget = out_required - inst.cell.delay_ps(loads.get(out, 0.0))
+            for pin_name, net_name in active_input_nets(inst):
+                net = netlist.net(net_name)
+                relax(net_name, budget - wire_delay(net, inst.pin(pin_name)))
+
+        return TimingResult(
+            netlist_name=netlist.name,
+            constraint=constraint,
+            arrival_ps=arrival,
+            required_ps=required,
+            net_load_ff=loads,
+            endpoints=endpoints,
+            port_slack_ps=port_slack,
+            critical_path_ps=critical,
+        )

@@ -1,0 +1,26 @@
+"""3D-IC modelling: die stacks, TSV links, and min-cut partitioning.
+
+Two ways to obtain a stack exist in this reproduction:
+
+* :func:`repro.bench.generate_stack` builds dies calibrated to the
+  paper's Table II directly (used by all experiments), and
+* :func:`repro.threed.partition.partition_into_stack` partitions a flat
+  2D netlist into dies with a Fiduccia–Mattheyses min-cut heuristic,
+  standing in for the 3D-Craft flow of the paper (used by examples and
+  the full-flow tests).
+"""
+
+from repro.threed.model import Stack3D, TsvLink
+from repro.threed.partition import (
+    PartitionConfig,
+    bisect_instances,
+    partition_into_stack,
+)
+
+__all__ = [
+    "Stack3D",
+    "TsvLink",
+    "PartitionConfig",
+    "bisect_instances",
+    "partition_into_stack",
+]

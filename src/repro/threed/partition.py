@@ -1,0 +1,355 @@
+"""Fiduccia–Mattheyses min-cut partitioning of a 2D netlist into dies.
+
+Stands in for the paper's 3D-Craft partitioning step: a flat gate-level
+netlist is split into ``num_dies`` balanced parts with recursive FM
+bisection; every net that crosses a die boundary becomes a TSV (an
+outbound port on the driver's die, an inbound port on every other die
+that consumes it), reproducing how inbound/outbound TSV sets arise.
+
+Global nets driven by clock/scan-enable/test-mode ports are replicated
+per die instead of being turned into TSVs, as a real 3D clock/DFT
+network would be.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.core import Netlist, Pin, PortDirection, PortKind
+from repro.threed.model import Stack3D, TsvLink
+from repro.util.errors import PartitionError
+from repro.util.rng import DeterministicRng
+
+#: Port kinds replicated on every die that needs them (never TSVs).
+_REPLICATED_KINDS = {PortKind.CLOCK, PortKind.SCAN_ENABLE, PortKind.TEST_MODE}
+
+
+@dataclass
+class PartitionConfig:
+    num_dies: int = 4
+    #: allowed deviation of a side from perfect balance, as a fraction
+    balance_tolerance: float = 0.10
+    max_passes: int = 8
+    seed: int = 2019
+
+
+def _build_hypergraph(netlist: Netlist, members: Sequence[str]
+                      ) -> Tuple[Dict[str, List[int]], List[List[str]]]:
+    """Return (cell -> list of net ids, net id -> member cells)."""
+    member_set = set(members)
+    nets: List[List[str]] = []
+    cell_nets: Dict[str, List[int]] = {name: [] for name in members}
+    for net in netlist.nets.values():
+        touched: Set[str] = set()
+        if net.driver is not None and not net.driver.is_port:
+            if net.driver.owner_name in member_set:
+                touched.add(net.driver.owner_name)
+        for sink in net.sinks:
+            if not sink.is_port and sink.owner_name in member_set:
+                touched.add(sink.owner_name)
+        if len(touched) >= 2:
+            net_id = len(nets)
+            nets.append(sorted(touched))
+            for cell in touched:
+                cell_nets[cell].append(net_id)
+    return cell_nets, nets
+
+
+def bisect_instances(netlist: Netlist, members: Sequence[str],
+                     rng: DeterministicRng,
+                     config: Optional[PartitionConfig] = None
+                     ) -> Tuple[Set[str], Set[str]]:
+    """FM bisection of *members* (instance names) of *netlist*.
+
+    Returns two balanced sets minimizing the number of crossing nets.
+    """
+    config = config or PartitionConfig()
+    members = list(members)
+    if len(members) < 2:
+        raise PartitionError("cannot bisect fewer than 2 instances")
+
+    cell_nets, nets = _build_hypergraph(netlist, members)
+
+    # Initial random balanced split.
+    shuffled = rng.shuffled(members)
+    half = len(shuffled) // 2
+    side: Dict[str, int] = {}
+    for i, name in enumerate(shuffled):
+        side[name] = 0 if i < half else 1
+
+    target = len(members) / 2.0
+    slack = max(1.0, target * config.balance_tolerance)
+
+    def side_count(which: int) -> int:
+        return counts[which]
+
+    counts = [sum(1 for s in side.values() if s == 0),
+              sum(1 for s in side.values() if s == 1)]
+
+    # Per-net side membership counts, maintained incrementally.
+    net_side_counts = [[0, 0] for _ in nets]
+    for net_id, cells in enumerate(nets):
+        for cell in cells:
+            net_side_counts[net_id][side[cell]] += 1
+
+    def gain_of(cell: str) -> int:
+        s = side[cell]
+        o = 1 - s
+        gain = 0
+        for net_id in cell_nets[cell]:
+            here, there = net_side_counts[net_id][s], net_side_counts[net_id][o]
+            if here == 1:
+                gain += 1  # moving uncuts this net
+            if there == 0:
+                gain -= 1  # moving cuts this net
+        return gain
+
+    for _pass in range(config.max_passes):
+        locked: Set[str] = set()
+        gains = {cell: gain_of(cell) for cell in members}
+        # Bucket structure: gain value -> set of movable cells.
+        buckets: Dict[int, Set[str]] = defaultdict(set)
+        for cell, g in gains.items():
+            buckets[g].add(cell)
+
+        history: List[Tuple[str, int]] = []  # (cell, cumulative gain)
+        cumulative = 0
+        best_cumulative = 0
+        best_prefix = 0
+
+        for _step in range(len(members)):
+            # Highest-gain movable cell respecting balance.
+            chosen: Optional[str] = None
+            for g in sorted(buckets.keys(), reverse=True):
+                for cell in buckets[g]:
+                    s = side[cell]
+                    # Balance check: moving off side s.
+                    if counts[s] - 1 < target - slack:
+                        continue
+                    if counts[1 - s] + 1 > target + slack:
+                        continue
+                    chosen = cell
+                    break
+                if chosen is not None:
+                    break
+            if chosen is None:
+                break
+
+            g = gains[chosen]
+            buckets[g].discard(chosen)
+            locked.add(chosen)
+            s = side[chosen]
+            o = 1 - s
+
+            # Update neighbour gains (standard FM delta rules).
+            for net_id in cell_nets[chosen]:
+                here = net_side_counts[net_id][s]
+                there = net_side_counts[net_id][o]
+                cells = nets[net_id]
+                if there == 0:
+                    for cell in cells:
+                        if cell not in locked:
+                            buckets[gains[cell]].discard(cell)
+                            gains[cell] += 1
+                            buckets[gains[cell]].add(cell)
+                elif there == 1:
+                    for cell in cells:
+                        if cell not in locked and side[cell] == o:
+                            buckets[gains[cell]].discard(cell)
+                            gains[cell] -= 1
+                            buckets[gains[cell]].add(cell)
+                net_side_counts[net_id][s] -= 1
+                net_side_counts[net_id][o] += 1
+                here = net_side_counts[net_id][s]
+                if here == 0:
+                    for cell in cells:
+                        if cell not in locked:
+                            buckets[gains[cell]].discard(cell)
+                            gains[cell] -= 1
+                            buckets[gains[cell]].add(cell)
+                elif here == 1:
+                    for cell in cells:
+                        if cell not in locked and side[cell] == s:
+                            buckets[gains[cell]].discard(cell)
+                            gains[cell] += 1
+                            buckets[gains[cell]].add(cell)
+
+            side[chosen] = o
+            counts[s] -= 1
+            counts[o] += 1
+            cumulative += g
+            history.append((chosen, cumulative))
+            if cumulative > best_cumulative:
+                best_cumulative = cumulative
+                best_prefix = len(history)
+
+        # Roll back moves after the best prefix.
+        for cell, _g in history[best_prefix:]:
+            s = side[cell]
+            o = 1 - s
+            for net_id in cell_nets[cell]:
+                net_side_counts[net_id][s] -= 1
+                net_side_counts[net_id][o] += 1
+            side[cell] = o
+            counts[s] -= 1
+            counts[o] += 1
+
+        if best_cumulative <= 0:
+            break
+
+    part_a = {cell for cell, s in side.items() if s == 0}
+    part_b = {cell for cell, s in side.items() if s == 1}
+    return part_a, part_b
+
+
+def _assign_ports(netlist: Netlist, assignment: Dict[str, int],
+                  num_dies: int) -> Dict[str, int]:
+    """Pin each 2D port to the die where most of its net's users live."""
+    port_die: Dict[str, int] = {}
+    for port in netlist.ports.values():
+        if port.net is None:
+            port_die[port.name] = 0
+            continue
+        net = netlist.net(port.net)
+        votes = [0] * num_dies
+        if net.driver is not None and not net.driver.is_port:
+            votes[assignment[net.driver.owner_name]] += 2
+        for sink in net.sinks:
+            if not sink.is_port:
+                votes[assignment[sink.owner_name]] += 1
+        best = max(range(num_dies), key=lambda d: votes[d])
+        port_die[port.name] = best
+    return port_die
+
+
+def partition_into_stack(netlist: Netlist,
+                         config: Optional[PartitionConfig] = None
+                         ) -> Tuple[Stack3D, Dict[str, int]]:
+    """Partition a flat 2D netlist into a :class:`Stack3D`.
+
+    Returns the stack and the instance -> die assignment. ``num_dies``
+    must be a power of two (recursive bisection).
+    """
+    config = config or PartitionConfig()
+    num = config.num_dies
+    if num < 1 or num & (num - 1) != 0:
+        raise PartitionError(f"num_dies must be a power of two, got {num}")
+
+    rng = DeterministicRng(config.seed).child("partition", netlist.name)
+    groups: List[Set[str]] = [set(netlist.instances.keys())]
+    while len(groups) < num:
+        next_groups: List[Set[str]] = []
+        for index, group in enumerate(groups):
+            if len(group) < 2:
+                raise PartitionError(
+                    f"group of {len(group)} instances cannot be bisected"
+                )
+            a, b = bisect_instances(netlist, sorted(group),
+                                    rng.child("bisect", len(groups), index),
+                                    config)
+            next_groups.extend([a, b])
+        groups = next_groups
+
+    assignment: Dict[str, int] = {}
+    for die_index, group in enumerate(groups):
+        for name in group:
+            assignment[name] = die_index
+
+    port_die = _assign_ports(netlist, assignment, num)
+    stack = _carve_dies(netlist, assignment, port_die, num)
+    return stack, assignment
+
+
+def _carve_dies(netlist: Netlist, assignment: Dict[str, int],
+                port_die: Dict[str, int], num: int) -> Stack3D:
+    dies = [Netlist(f"{netlist.name}_die{d}", netlist.library)
+            for d in range(num)]
+    links: List[TsvLink] = []
+
+    # Instantiate cells per die (connections re-created net by net).
+    for inst in netlist.instances.values():
+        die = dies[assignment[inst.name]]
+        die.add_instance(inst.name, inst.cell.name)
+
+    replicated_ports = {
+        p.name for p in netlist.ports.values() if p.kind in _REPLICATED_KINDS
+    }
+
+    for net in netlist.nets.values():
+        driver = net.driver
+        if driver is None:
+            continue
+        is_replicated = (driver.is_port and driver.owner_name in replicated_ports)
+
+        if driver.is_port:
+            driver_die = port_die[driver.owner_name]
+        else:
+            driver_die = assignment[driver.owner_name]
+
+        sink_dies: Dict[int, List[Pin]] = defaultdict(list)
+        for sink in net.sinks:
+            die_index = (port_die[sink.owner_name] if sink.is_port
+                         else assignment[sink.owner_name])
+            sink_dies[die_index].append(sink)
+
+        if is_replicated:
+            # Replicate the global port on every die that consumes it.
+            kind = netlist.port(driver.owner_name).kind
+            for die_index, sinks in sink_dies.items():
+                die = dies[die_index]
+                local = die.get_or_add_net(net.name)
+                port = die.add_port(f"{driver.owner_name}", kind)
+                die.connect_port(port.name, local.name)
+                for sink in sinks:
+                    _reconnect_sink(die, netlist, sink, local.name)
+            continue
+
+        # Local net on the driver die.
+        driver_netlist = dies[driver_die]
+        local = driver_netlist.get_or_add_net(net.name)
+        if driver.is_port:
+            src_port = netlist.port(driver.owner_name)
+            driver_netlist.add_port(src_port.name, src_port.kind)
+            driver_netlist.connect_port(src_port.name, local.name)
+        else:
+            driver_netlist.connect(driver.owner_name, driver.pin_name, local.name)
+        for sink in sink_dies.get(driver_die, ()):
+            _reconnect_sink(driver_netlist, netlist, sink, local.name)
+
+        remote_dies = [d for d in sink_dies if d != driver_die]
+        if remote_dies:
+            out_name = f"tsvout__{net.name}"
+            driver_netlist.add_port(out_name, PortKind.TSV_OUTBOUND)
+            driver_netlist.connect_port(out_name, local.name)
+            for die_index in remote_dies:
+                die = dies[die_index]
+                in_name = f"tsvin__{net.name}"
+                local_remote = die.get_or_add_net(net.name)
+                die.add_port(in_name, PortKind.TSV_INBOUND)
+                die.connect_port(in_name, local_remote.name)
+                for sink in sink_dies[die_index]:
+                    _reconnect_sink(die, netlist, sink, local_remote.name)
+                links.append(TsvLink(
+                    name=f"tsv__{net.name}__{driver_die}_{die_index}",
+                    source_die=driver_die,
+                    source_port=out_name,
+                    target_die=die_index,
+                    target_port=in_name,
+                ))
+
+    stack = Stack3D(name=netlist.name, dies=dies, links=links)
+    stack.validate_links()
+    return stack
+
+
+def _reconnect_sink(die: Netlist, original: Netlist, sink: Pin,
+                    net_name: str) -> None:
+    if sink.is_port:
+        src_port = original.port(sink.owner_name)
+        if sink.owner_name not in die.ports:
+            die.add_port(src_port.name, src_port.kind)
+        die.connect_port(src_port.name, net_name)
+    else:
+        die.connect(sink.owner_name, sink.pin_name, net_name)

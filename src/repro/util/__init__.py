@@ -1,0 +1,28 @@
+"""Shared utilities: errors, deterministic RNG, table rendering."""
+
+from repro.util.errors import (
+    ReproError,
+    NetlistError,
+    LibraryError,
+    TimingError,
+    AtpgError,
+    PartitionError,
+    ConfigError,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.tables import AsciiTable, format_percent, format_pair
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "LibraryError",
+    "TimingError",
+    "AtpgError",
+    "PartitionError",
+    "ConfigError",
+    "DeterministicRng",
+    "derive_seed",
+    "AsciiTable",
+    "format_percent",
+    "format_pair",
+]

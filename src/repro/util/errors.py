@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch domain failures without swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist: dangling net, duplicate name,
+    multiple drivers, unknown pin, combinational cycle."""
+
+
+class LibraryError(ReproError):
+    """Unknown cell type, pin, or malformed library data."""
+
+
+class TimingError(ReproError):
+    """Static-timing analysis failure (e.g. no clock defined, or timing
+    queried for a node outside the analyzed netlist)."""
+
+
+class AtpgError(ReproError):
+    """Fault-model or test-generation failure."""
+
+
+class PartitionError(ReproError):
+    """3D partitioning failure (infeasible balance, empty die)."""
+
+
+class ConfigError(ReproError):
+    """Invalid WCM configuration (e.g. negative thresholds)."""

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver prints its result as an ASCII table shaped like
+the corresponding table in the paper, so a reader can diff them by eye.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a ratio (0..1) as a percentage string, e.g. ``99.34%``."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_pair(coverage: float, patterns: int) -> str:
+    """Format a (fault coverage, #test patterns) pair as in Tables IV/V."""
+    return f"({format_percent(coverage)}, {patterns})"
+
+
+class AsciiTable:
+    """Minimal fixed-width table renderer.
+
+    >>> t = AsciiTable(["circuit", "die", "#cells"])
+    >>> t.add_row(["b12", "Die0", 3])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_separator(self) -> None:
+        self.rows.append(["---"] * len(self.headers))
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        divider = "-+-".join("-" * w for w in widths)
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_line(self.headers))
+        lines.append(divider)
+        for row in self.rows:
+            if all(cell == "---" for cell in row):
+                lines.append(divider)
+            else:
+                lines.append(render_line(row))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            if all(cell == "---" for cell in row):
+                continue
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Tests for the ATPG engine and transition-fault flow."""
+
+import pytest
+
+from repro.atpg.engine import AtpgConfig, AtpgEngine, run_stuck_at_atpg, _patterns_to_words
+from repro.atpg.transition import build_transition_faults, run_transition_atpg
+from repro.dft.testview import build_prebond_test_view
+from repro.netlist.builder import NetlistBuilder
+
+
+def chain_view(depth=4):
+    builder = NetlistBuilder("chain")
+    current = builder.add_input("a")
+    extra = builder.add_input("b")
+    current = builder.add_gate("XOR2_X1", [current, extra])
+    for _ in range(depth):
+        current = builder.add_gate("INV_X1", [current])
+    builder.add_output("po", current)
+    return build_prebond_test_view(builder.finish())
+
+
+class TestStuckAtEngine:
+    def test_full_coverage_on_simple_chain(self):
+        result = run_stuck_at_atpg(chain_view(), AtpgConfig(seed=1))
+        assert result.coverage == 1.0
+        assert result.pattern_count >= 2
+        assert result.undetected == 0
+
+    def test_deterministic(self, small_test_view):
+        config = AtpgConfig(seed=77, block_width=64, max_random_blocks=4,
+                            podem_fault_limit=50)
+        a = run_stuck_at_atpg(small_test_view, config)
+        b = run_stuck_at_atpg(small_test_view, config)
+        assert a.detected == b.detected
+        assert a.pattern_count == b.pattern_count
+        assert a.patterns == b.patterns
+
+    def test_counts_are_consistent(self, small_test_view):
+        result = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, block_width=64, max_random_blocks=6,
+            podem_fault_limit=200))
+        assert (result.detected + result.proven_untestable
+                + result.undetected == result.total_faults)
+        assert result.aborted <= result.undetected
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.pattern_count == len(result.patterns)
+        assert (result.random_patterns + result.deterministic_patterns
+                == result.pattern_count)
+
+    def test_patterns_actually_detect(self, small_test_view):
+        """Replaying the final pattern set must detect every fault the
+        engine claims (modulo PODEM-verified cubes it had dropped)."""
+        engine = AtpgEngine(small_test_view, AtpgConfig(
+            seed=3, block_width=64, max_random_blocks=6,
+            podem_fault_limit=200))
+        result = engine.run()
+        circuit = engine.circuit
+        words = _patterns_to_words(result.patterns, circuit.input_count)
+        mask = (1 << len(result.patterns)) - 1
+        good = circuit.simulate(words, mask)
+        replay_detected = sum(
+            1 for i in range(len(engine.fault_list.faults))
+            if engine.dispatcher.detect_word(circuit, good, i, mask))
+        assert replay_detected >= result.detected * 0.98
+
+    def test_compaction_reduces_or_keeps_patterns(self, small_test_view):
+        base = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, block_width=64, max_random_blocks=6,
+            podem_fault_limit=100))
+        compact = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, block_width=64, max_random_blocks=6,
+            podem_fault_limit=100, compaction=True))
+        assert compact.pattern_count <= base.pattern_count
+        assert compact.detected == base.detected
+
+    def test_fault_sampling_respected(self, small_test_view):
+        result = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, fault_sample=100, max_random_blocks=3,
+            podem_fault_limit=20))
+        assert result.total_faults == 100
+
+    def test_more_effort_never_hurts(self, small_test_view):
+        small = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, block_width=32, max_random_blocks=2,
+            podem_fault_limit=0))
+        large = run_stuck_at_atpg(small_test_view, AtpgConfig(
+            seed=3, block_width=128, max_random_blocks=10,
+            podem_fault_limit=400))
+        assert large.detected >= small.detected
+
+
+class TestTransitionEngine:
+    def test_universe_is_two_per_stem(self, small_test_view):
+        faults = build_transition_faults(small_test_view)
+        nets = {f.net for f in faults}
+        assert len(faults) == 2 * len(nets)
+
+    def test_chain_transition_coverage(self):
+        result = run_transition_atpg(chain_view(), AtpgConfig(seed=1))
+        assert result.coverage >= 0.9
+        assert result.pattern_count > 0
+
+    def test_deterministic(self, small_test_view):
+        config = AtpgConfig(seed=9, block_width=64, max_random_blocks=3,
+                            podem_fault_limit=40)
+        a = run_transition_atpg(small_test_view, config)
+        b = run_transition_atpg(small_test_view, config)
+        assert (a.detected, a.pattern_count) == (b.detected, b.pattern_count)
+
+    def test_needs_more_patterns_than_stuck_at(self, small_test_view):
+        """Two-pattern tests are harder: per-fault detection probability
+        is lower, so coverage at equal effort is no higher."""
+        config = AtpgConfig(seed=9, block_width=64, max_random_blocks=4,
+                            podem_fault_limit=0)
+        stuck = run_stuck_at_atpg(small_test_view, config)
+        transition = run_transition_atpg(small_test_view, config)
+        assert transition.raw_coverage <= stuck.raw_coverage + 0.05

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table2_smoke(self, capsys):
+        assert main(["--scale", "smoke", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "b11" in out
+
+    def test_die_command(self, capsys):
+        assert main(["die", "b11", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "b11_die0" in out
+        assert "ours/tight" in out
+        assert "overhead" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_scale_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "galactic", "table2"])
+
+    def test_export(self, tmp_path, capsys, monkeypatch):
+        # export the two cheap artifacts only (the full set is the
+        # benchmark harness's job)
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "_EXPORT_ORDER", ("table2", "figure7"))
+        target = tmp_path / "results.md"
+        assert main(["--scale", "smoke", "export", str(target)]) == 0
+        text = target.read_text()
+        assert "# Regenerated results" in text
+        assert "table2" in text and "figure7" in text

@@ -1,0 +1,136 @@
+"""Tests for equivalence checking, area accounting and post-bond views."""
+
+import pytest
+
+from repro.atpg.engine import AtpgConfig, run_stuck_at_atpg
+from repro.bench.generator import generate_die
+from repro.bench.itc99 import die_profile
+from repro.bench.stack import generate_stack
+from repro.dft.area import area_of_insertion, compare_plans, plan_area_estimate
+from repro.dft.postbond import build_postbond_test_view, merge_stack_netlist
+from repro.dft.scan import stitch_scan_chains
+from repro.dft.testview import build_prebond_test_view
+from repro.dft.wrapper import dedicated_plan, insert_wrappers
+from repro.netlist.equivalence import check_functional_equivalence
+from repro.netlist.validate import validate_netlist
+from repro.place.placer import place_die
+
+
+@pytest.fixture(scope="module")
+def wrapped_pair():
+    netlist = generate_die(die_profile("b11", 0), seed=31)
+    place_die(netlist)
+    stitch_scan_chains(netlist)
+    wrapped, report = insert_wrappers(netlist, dedicated_plan(netlist))
+    stitch_scan_chains(wrapped, restitch=True)
+    return netlist, wrapped, report
+
+
+class TestEquivalence:
+    def test_insertion_is_functionally_invisible(self, wrapped_pair):
+        bare, wrapped, _report = wrapped_pair
+        result = check_functional_equivalence(bare, wrapped, patterns=1024)
+        assert result.equivalent, result.mismatch
+        assert result.compared_observables > 0
+
+    def test_wcm_plans_are_functionally_invisible(self, medium_problem):
+        from repro.core.config import Scenario, WcmConfig
+        from repro.core.flow import run_wcm_flow
+
+        run = run_wcm_flow(medium_problem,
+                           WcmConfig.ours(Scenario.area_optimized()))
+        result = check_functional_equivalence(
+            medium_problem.netlist, run.wrapped_netlist, patterns=768)
+        assert result.equivalent, result.mismatch
+
+    def test_detects_injected_bug(self, wrapped_pair):
+        bare, wrapped, _report = wrapped_pair
+        broken = wrapped.clone("broken")
+        # Swap one gate's function: NAND -> NOR somewhere.
+        victim = next(i for i in broken.instances.values()
+                      if i.cell.name == "NAND2_X1")
+        victim.cell = broken.library.get("NOR2_X1")
+        result = check_functional_equivalence(bare, broken, patterns=1024)
+        assert not result.equivalent
+        assert result.mismatch is not None
+        assert result.mismatch.stimulus  # reproducible stimulus given
+
+    def test_deterministic(self, wrapped_pair):
+        bare, wrapped, _report = wrapped_pair
+        a = check_functional_equivalence(bare, wrapped, patterns=256, seed=4)
+        b = check_functional_equivalence(bare, wrapped, patterns=256, seed=4)
+        assert a.equivalent == b.equivalent
+        assert a.patterns_checked == b.patterns_checked
+
+
+class TestAreaAccounting:
+    def test_insertion_report_pricing(self, wrapped_pair):
+        bare, _wrapped, report = wrapped_pair
+        area = area_of_insertion(bare, report)
+        assert area.logic_area_um2 > 0
+        assert area.wrapper_cell_area_um2 > 0
+        assert area.dft_area_um2 == pytest.approx(
+            area.wrapper_cell_area_um2 + area.mux_area_um2
+            + area.xor_area_um2 + area.buffer_area_um2)
+        assert "overhead" in area.render()
+
+    def test_plan_estimate_matches_insertion(self, wrapped_pair):
+        bare, _wrapped, report = wrapped_pair
+        estimate = plan_area_estimate(bare, dedicated_plan(bare))
+        actual = area_of_insertion(bare, report)
+        assert estimate.wrapper_cell_area_um2 \
+            == actual.wrapper_cell_area_um2
+        assert estimate.mux_area_um2 == actual.mux_area_um2
+
+    def test_reuse_costs_less_than_dedicated(self, medium_problem):
+        from repro.core.config import Scenario, WcmConfig
+        from repro.core.flow import run_wcm_flow
+
+        run = run_wcm_flow(medium_problem,
+                           WcmConfig.ours(Scenario.area_optimized()))
+        reuse = plan_area_estimate(medium_problem.netlist, run.plan)
+        dedicated = plan_area_estimate(medium_problem.netlist,
+                                       dedicated_plan(medium_problem.netlist))
+        assert reuse.wrapper_cell_area_um2 \
+            < dedicated.wrapper_cell_area_um2
+
+    def test_compare_plans_renders(self, medium_problem):
+        text = compare_plans(medium_problem.netlist, {
+            "dedicated": dedicated_plan(medium_problem.netlist),
+        })
+        assert "dedicated" in text and "overhead" in text
+
+
+class TestPostBond:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        return generate_stack("b11", seed=31)
+
+    def test_merged_stack_validates(self, stack):
+        merged = merge_stack_netlist(stack)
+        validate_netlist(merged, allow_undriven_nets=True)
+        # gates conserved; bond registers added
+        assert merged.gate_count == sum(d.gate_count for d in stack.dies)
+        bonded = sum(1 for l in stack.links if not l.is_external)
+        total_ffs = sum(len(d.flip_flops()) for d in stack.dies)
+        assert len(merged.flip_flops()) == total_ffs + bonded
+
+    def test_bonded_inbound_no_longer_floating(self, stack):
+        view = build_postbond_test_view(stack)
+        bonded_targets = {(l.target_die, l.target_port)
+                          for l in stack.links if not l.is_external}
+        assert bonded_targets  # the stack has real bonds
+        # every remaining X net belongs to an unbonded inbound port
+        merged = view.netlist
+        for net in view.x_nets:
+            ports = [p for p in merged.ports.values() if p.net == net]
+            assert ports and all(not p.name.split("/")[-1].startswith("bond")
+                                 for p in ports)
+
+    def test_postbond_coverage_beats_prebond_on_tsv_paths(self, stack):
+        """Bonding closes the KGD gap: the union of per-die pre-bond
+        views leaves TSV nets dark that post-bond testing reaches."""
+        config = AtpgConfig(seed=7, block_width=64, max_random_blocks=5,
+                            podem_fault_limit=50, fault_sample=900)
+        post = run_stuck_at_atpg(build_postbond_test_view(stack), config)
+        assert post.coverage > 0.85

@@ -1,0 +1,119 @@
+"""Tests for the experiment drivers (smoke scale)."""
+
+import pytest
+
+from repro.experiments import (
+    prepare_die,
+    resolve_scale,
+    run_figure7,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.common import (
+    SCALES,
+    dies_for_scale,
+    method_config,
+    run_method,
+    scale_banner,
+)
+from repro.util.errors import ConfigError
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScaleResolution:
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert resolve_scale().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert resolve_scale().name == "full"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_scale("enormous")
+
+    def test_dies_for_scale(self):
+        dies = dies_for_scale(SMOKE)
+        assert ("b11", 0) in dies and ("b12", 3) in dies
+        assert not any(c == "b18" for c, _d in dies)
+
+    def test_banner_mentions_scale(self):
+        assert "smoke" in scale_banner(SMOKE)
+
+
+class TestPreparedDieCache:
+    def test_cache_returns_same_object(self):
+        a = prepare_die("b11", 0)
+        b = prepare_die("b11", 0)
+        assert a is b
+
+    def test_scenarios_pairing(self):
+        prepared = prepare_die("b11", 0)
+        area, tight = prepared.scenarios()
+        assert not area.is_timed and tight.is_timed
+        assert prepared.problem_for(area) is prepared.problem_area
+        assert prepared.problem_for(tight) is prepared.problem_tight
+
+    def test_run_method_cached(self):
+        prepared = prepare_die("b11", 0)
+        area, _tight = prepared.scenarios()
+        config = method_config("agrawal", area, SMOKE)
+        assert run_method(prepared, config) is run_method(prepared, config)
+
+
+class TestTable2:
+    def test_counts_verified(self):
+        result = run_table2(SMOKE)
+        assert len(result.rows) == 8  # b11 + b12 dies
+        rendered = result.render()
+        assert "b11" in rendered and "Average" in rendered
+        avg = result.averages()
+        assert avg.gates > 0
+
+
+class TestTable3:
+    def test_shapes(self):
+        result = run_table3(SMOKE)
+        assert len(result.cells) == 8
+        # headline shapes on the smoke set:
+        ours_viol, total = result.violation_tally("ours_tight")
+        assert ours_viol == 0
+        agrawal_viol, _ = result.violation_tally("agrawal_tight")
+        assert agrawal_viol > 0
+        assert result.average("ours_area", "additional") <= \
+            result.average("agrawal_area", "additional")
+        assert "Table III" in result.render()
+
+
+class TestFigure7:
+    def test_positive_expansion(self):
+        result = run_figure7(SMOKE)
+        assert result.rows
+        assert result.mean_increase_pct >= 0.0
+        assert "Figure 7" in result.render()
+
+
+@pytest.mark.slow
+class TestTable1:
+    def test_runs_and_renders(self):
+        result = run_table1(SMOKE)
+        assert len(result.rows) == 4
+        assert "Table I" in result.render()
+
+
+class TestOverhead:
+    def test_overhead_ordering(self):
+        from repro.experiments import run_overhead
+        result = run_overhead(SMOKE)
+        assert result.rows
+        for row in result.rows.values():
+            # reuse can only remove DFT area relative to dedicated [13]
+            assert row.ours_overhead <= row.dedicated_overhead + 1e-9
+            assert row.agrawal_overhead <= row.dedicated_overhead + 1e-9
+        assert "overhead" in result.render()

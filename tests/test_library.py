@@ -1,0 +1,135 @@
+"""Tests for the standard-cell library: logic functions, timing, caps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.library import (
+    DEFAULT_CAP_TH_FF,
+    LOGIC_FUNCTIONS,
+    CellType,
+    CellPin,
+    PinDirection,
+    Library,
+    default_library,
+    evaluate_cell,
+)
+from repro.util.errors import LibraryError
+
+LIB = default_library()
+
+word = st.integers(min_value=0, max_value=(1 << 64) - 1)
+MASK = (1 << 64) - 1
+
+
+class TestLogicFunctions:
+    @given(word, word)
+    def test_nand_is_not_and(self, a, b):
+        assert LOGIC_FUNCTIONS["nand"]([a, b], MASK) == \
+            (~LOGIC_FUNCTIONS["and"]([a, b], MASK)) & MASK
+
+    @given(word, word)
+    def test_nor_is_not_or(self, a, b):
+        assert LOGIC_FUNCTIONS["nor"]([a, b], MASK) == \
+            (~LOGIC_FUNCTIONS["or"]([a, b], MASK)) & MASK
+
+    @given(word)
+    def test_inv_involution(self, a):
+        inv = LOGIC_FUNCTIONS["inv"]
+        assert inv([inv([a], MASK)], MASK) == a & MASK
+
+    @given(word, word)
+    def test_xor_xnor_complementary(self, a, b):
+        x = LOGIC_FUNCTIONS["xor"]([a, b], MASK)
+        xn = LOGIC_FUNCTIONS["xnor"]([a, b], MASK)
+        assert x ^ xn == MASK
+
+    @given(word, word, word)
+    def test_mux_selects(self, a, b, s):
+        out = LOGIC_FUNCTIONS["mux2"]([a, b, s], MASK)
+        # where s=0 -> a; where s=1 -> b
+        assert out & ~s & MASK == a & ~s & MASK
+        assert out & s == b & s
+
+    @given(word, word, word)
+    def test_aoi21_definition(self, a1, a2, b):
+        expected = ~((a1 & a2) | b) & MASK
+        assert LOGIC_FUNCTIONS["aoi21"]([a1, a2, b], MASK) == expected
+
+    @given(word, word, word)
+    def test_oai21_definition(self, a1, a2, b):
+        expected = ~((a1 | a2) & b) & MASK
+        assert LOGIC_FUNCTIONS["oai21"]([a1, a2, b], MASK) == expected
+
+    @given(word, word, word)
+    def test_results_within_mask(self, a, b, c):
+        for name, fn in LOGIC_FUNCTIONS.items():
+            arity = {"buf": 1, "inv": 1, "mux2": 3, "aoi21": 3,
+                     "oai21": 3}.get(name, 2)
+            args = [a, b, c][:arity]
+            assert 0 <= fn(args, MASK) <= MASK
+
+
+class TestDefaultLibrary:
+    def test_expected_cells_present(self):
+        for name in ("INV_X1", "NAND2_X1", "XOR2_X1", "MUX2_X1",
+                     "BUF_X2", "DFF_X1", "SDFF_X1"):
+            assert name in LIB
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(LibraryError):
+            LIB.get("NAND99_X9")
+
+    def test_sdff_is_scan(self):
+        sdff = LIB.get("SDFF_X1")
+        assert sdff.is_sequential and sdff.is_scan
+        assert {p.name for p in sdff.pins} == {"D", "SI", "SE", "CK", "Q"}
+
+    def test_dff_not_scan(self):
+        dff = LIB.get("DFF_X1")
+        assert dff.is_sequential and not dff.is_scan
+
+    def test_delay_monotone_in_load(self):
+        nand = LIB.get("NAND2_X1")
+        assert nand.delay_ps(10.0) < nand.delay_ps(40.0)
+        assert nand.delay_ps(0.0) == nand.intrinsic_delay_ps
+
+    def test_input_cap_lookup(self):
+        nand = LIB.get("NAND2_X1")
+        assert nand.input_cap("A1") > 0
+        with pytest.raises(LibraryError):
+            nand.input_cap("ZN")  # output pin
+
+    def test_cap_th_is_buf_x2_limit(self):
+        assert DEFAULT_CAP_TH_FF == LIB.get("BUF_X2").max_load_ff
+
+    def test_evaluate_cell_rejects_sequential(self):
+        with pytest.raises(LibraryError):
+            evaluate_cell(LIB.get("SDFF_X1"), [1, 1], MASK)
+
+    def test_evaluate_cell_combinational(self):
+        out = evaluate_cell(LIB.get("NAND2_X1"), [MASK, MASK], MASK)
+        assert out == 0
+
+    def test_duplicate_cell_rejected(self):
+        lib = Library(name="t")
+        cell = LIB.get("INV_X1")
+        lib.add(cell)
+        with pytest.raises(LibraryError):
+            lib.add(cell)
+
+    def test_cell_with_duplicate_pins_rejected(self):
+        with pytest.raises(LibraryError):
+            CellType(
+                name="BAD", function="and",
+                pins=(CellPin("A", PinDirection.INPUT, 1.0),
+                      CellPin("A", PinDirection.INPUT, 1.0),
+                      CellPin("Z", PinDirection.OUTPUT)),
+                intrinsic_delay_ps=1, drive_resistance=1,
+                max_load_ff=10, area_um2=1,
+            )
+
+    def test_data_input_pins_exclude_clock_and_scan_enable(self):
+        sdff = LIB.get("SDFF_X1")
+        names = {p.name for p in sdff.data_input_pins}
+        assert "CK" not in names and "SE" not in names
+        assert "D" in names

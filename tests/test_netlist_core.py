@@ -1,0 +1,142 @@
+"""Tests for the netlist data model and its structural invariants."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import Netlist, Pin, PortKind
+from repro.netlist.library import default_library
+from repro.netlist.validate import validate_netlist
+from repro.util.errors import NetlistError
+
+
+def build_pair():
+    builder = NetlistBuilder("t")
+    a = builder.add_input("a")
+    b = builder.add_input("b")
+    out = builder.add_gate("AND2_X1", [a, b], name="g0")
+    builder.add_output("po", out)
+    return builder
+
+
+class TestConstruction:
+    def test_duplicate_net_rejected(self):
+        netlist = Netlist("x", default_library())
+        netlist.add_net("n")
+        with pytest.raises(NetlistError):
+            netlist.add_net("n")
+
+    def test_duplicate_instance_rejected(self):
+        netlist = Netlist("x", default_library())
+        netlist.add_instance("g", "INV_X1")
+        with pytest.raises(NetlistError):
+            netlist.add_instance("g", "INV_X1")
+
+    def test_multiple_drivers_rejected(self):
+        netlist = Netlist("x", default_library())
+        netlist.add_instance("g0", "INV_X1")
+        netlist.add_instance("g1", "INV_X1")
+        netlist.connect("g0", "ZN", "n")
+        with pytest.raises(NetlistError):
+            netlist.connect("g1", "ZN", "n")
+
+    def test_port_and_instance_driver_conflict(self):
+        netlist = Netlist("x", default_library())
+        netlist.add_instance("g0", "INV_X1")
+        netlist.connect("g0", "ZN", "n")
+        with pytest.raises(NetlistError):
+            netlist.add_port("p", PortKind.PRIMARY_INPUT, net="n")
+
+    def test_double_pin_connection_rejected(self):
+        builder = build_pair()
+        with pytest.raises(NetlistError):
+            builder.netlist.connect("g0", "A1", "other")
+
+    def test_unknown_lookups_raise(self):
+        netlist = Netlist("x", default_library())
+        with pytest.raises(NetlistError):
+            netlist.instance("nope")
+        with pytest.raises(NetlistError):
+            netlist.net("nope")
+        with pytest.raises(NetlistError):
+            netlist.port("nope")
+
+
+class TestViews:
+    def test_stats_and_views(self, tiny_netlist):
+        stats = tiny_netlist.stats()
+        assert stats["gates"] == 3
+        assert stats["flip_flops"] == 1
+        assert stats["inbound_tsvs"] == 1
+        assert stats["outbound_tsvs"] == 1
+        assert tiny_netlist.tsv_count == 2
+        assert [f.name for f in tiny_netlist.scan_flip_flops()] == ["ff0"]
+
+    def test_sink_cap_sums_pin_caps(self, tiny_netlist):
+        lib = tiny_netlist.library
+        # n1 ("n_0") drives XOR.A and the outbound TSV port
+        net = tiny_netlist.instance("g_nand").output_net()
+        expected = lib.get("XOR2_X1").input_cap("A")
+        assert tiny_netlist.sink_cap_ff(net) == pytest.approx(expected)
+
+    def test_location_of_unknown_raises(self, tiny_netlist):
+        with pytest.raises(NetlistError):
+            tiny_netlist.location_of("ghost")
+
+
+class TestMutation:
+    def test_retarget_sink_moves_connection(self):
+        builder = build_pair()
+        netlist = builder.netlist
+        new_net = netlist.add_net("n_new")
+        netlist.add_instance("drv", "BUF_X1")
+        netlist.connect("drv", "A", "a")
+        netlist.connect("drv", "Z", "n_new")
+        sink = Pin("instance", "g0", "A2")
+        netlist.retarget_sink(sink, "n_new")
+        assert netlist.instance("g0").connections["A2"] == "n_new"
+        assert sink not in netlist.net("b").sinks
+        assert sink in netlist.net("n_new").sinks
+
+    def test_disconnect_pin(self):
+        builder = build_pair()
+        netlist = builder.netlist
+        netlist.disconnect_pin("g0", "A1")
+        assert "A1" not in netlist.instance("g0").connections
+        assert not any(s.owner_name == "g0" and s.pin_name == "A1"
+                       for s in netlist.net("a").sinks)
+
+    def test_clone_is_deep_for_connectivity(self, tiny_netlist):
+        clone = tiny_netlist.clone("copy")
+        clone.disconnect_pin("g_inv", "A")
+        assert "A" in tiny_netlist.instance("g_inv").connections
+        assert tiny_netlist.stats()["nets"] == clone.stats()["nets"]
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self, tiny_netlist):
+        assert validate_netlist(tiny_netlist) == []
+
+    def test_unconnected_input_pin_fails(self):
+        netlist = Netlist("x", default_library())
+        netlist.add_instance("g", "INV_X1")
+        netlist.connect("g", "ZN", "out")
+        netlist.add_port("po", PortKind.PRIMARY_OUTPUT, net="out")
+        with pytest.raises(NetlistError):
+            validate_netlist(netlist)
+
+    def test_undriven_net_fails_unless_allowed(self):
+        builder = build_pair()
+        netlist = builder.netlist
+        netlist.add_net("floating")
+        netlist.connect("g0", "Z", "out2") if False else None
+        netlist.add_instance("g1", "INV_X1")
+        netlist.connect("g1", "A", "floating")
+        netlist.connect("g1", "ZN", "n1")
+        netlist.add_port("po2", PortKind.PRIMARY_OUTPUT, net="n1")
+        with pytest.raises(NetlistError):
+            validate_netlist(netlist)
+        assert validate_netlist(netlist, allow_undriven_nets=True) is not None
+
+    def test_generated_die_validates(self, small_die):
+        warnings = validate_netlist(small_die)
+        assert isinstance(warnings, list)

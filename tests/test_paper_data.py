@@ -1,0 +1,56 @@
+"""Integrity tests for the transcribed paper data."""
+
+import pytest
+
+from repro.bench.itc99 import all_die_profiles
+from repro.experiments.paper_data import (
+    FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT,
+    TABLE1_PAPER,
+    TABLE3_PAPER,
+    TABLE3_PAPER_SUMMARY,
+    TABLE4_PAPER_AVERAGE,
+    TABLE5_PAPER_AVERAGE,
+)
+
+
+class TestPaperDataIntegrity:
+    def test_table3_covers_all_24_dies(self):
+        keys = {(p.circuit, p.die_index) for p in all_die_profiles()}
+        assert set(TABLE3_PAPER) == keys
+
+    def test_table3_summary_matches_cell_averages(self):
+        for key, attr in (("agrawal_area", 0), ("ours_area", 0)):
+            pass  # spot-check the two reported averages below
+        reused = sum(v["agrawal_area"][0] for v in TABLE3_PAPER.values())
+        additional = sum(v["agrawal_area"][1] for v in TABLE3_PAPER.values())
+        assert reused / 24 == pytest.approx(
+            TABLE3_PAPER_SUMMARY["agrawal_area"]["reused"], abs=0.01)
+        assert additional / 24 == pytest.approx(
+            TABLE3_PAPER_SUMMARY["agrawal_area"]["additional"], abs=0.01)
+
+    def test_paper_headline_relationships(self):
+        """The paper's own claims hold within its own numbers."""
+        summary = TABLE3_PAPER_SUMMARY
+        assert summary["ours_area"]["additional"] \
+            < summary["agrawal_area"]["additional"]
+        assert summary["ours_tight"]["additional"] \
+            < summary["agrawal_tight"]["additional"]
+        assert summary["agrawal_tight"]["violations"] == "20/24"
+        assert summary["ours_tight"]["violations"] == "0/24"
+
+    def test_table1_has_all_b12_dies(self):
+        assert set(TABLE1_PAPER) == {0, 1, 2, 3}
+        for row in TABLE1_PAPER.values():
+            assert set(row) == {"inbound", "outbound"}
+
+    def test_table4_coverage_parity(self):
+        ours = TABLE4_PAPER_AVERAGE["ours"]["stuck_at"][0]
+        agrawal = TABLE4_PAPER_AVERAGE["agrawal"]["stuck_at"][0]
+        assert ours == agrawal  # the paper reports identical averages
+
+    def test_table5_overlap_saves_cells(self):
+        assert TABLE5_PAPER_AVERAGE["overlap"]["additional"] \
+            < TABLE5_PAPER_AVERAGE["no_overlap"]["additional"]
+
+    def test_figure7_positive(self):
+        assert FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT > 0

@@ -1,0 +1,131 @@
+"""Tests for critical-path reporting and fault diagnosis."""
+
+import pytest
+
+from repro.atpg.diagnosis import FaultDiagnoser
+from repro.atpg.engine import AtpgConfig, AtpgEngine
+from repro.atpg.faults import build_fault_list
+from repro.dft.testview import build_prebond_test_view
+from repro.netlist.builder import NetlistBuilder
+from repro.sta.constraints import ClockConstraint
+from repro.sta.paths import render_worst_paths, worst_paths
+from repro.sta.timer import TimingAnalyzer
+from repro.util.errors import AtpgError
+
+
+class TestCriticalPaths:
+    def test_path_structure(self, tiny_netlist):
+        result = TimingAnalyzer(tiny_netlist).analyze(
+            ClockConstraint(period_ps=1000.0))
+        paths = worst_paths(tiny_netlist, result, count=2)
+        assert paths
+        worst = paths[0]
+        assert worst.slack_ps == result.worst_slack_ps
+        # stages run source -> endpoint with non-decreasing arrivals
+        arrivals = [stage.arrival_ps for stage in worst.stages]
+        assert arrivals == sorted(arrivals)
+
+    def test_stage_delays_sum_to_arrival(self, tiny_netlist):
+        result = TimingAnalyzer(tiny_netlist).analyze(
+            ClockConstraint(period_ps=1000.0))
+        worst = worst_paths(tiny_netlist, result, count=1)[0]
+        total = sum(stage.stage_delay_ps for stage in worst.stages)
+        start = worst.stages[0].arrival_ps - worst.stages[0].stage_delay_ps
+        assert start + total == pytest.approx(worst.stages[-1].arrival_ps)
+
+    def test_violating_only_filter(self, tiny_netlist):
+        timer = TimingAnalyzer(tiny_netlist)
+        relaxed = timer.analyze(ClockConstraint(period_ps=100000.0))
+        assert worst_paths(tiny_netlist, relaxed, count=3,
+                           violating_only=True) == []
+        squeezed = timer.analyze(ClockConstraint(period_ps=30.0))
+        violating = worst_paths(tiny_netlist, squeezed, count=3,
+                                violating_only=True)
+        assert violating and all(p.slack_ps < 0 for p in violating)
+
+    def test_render_on_generated_die(self, small_die):
+        result = TimingAnalyzer(small_die).analyze(
+            ClockConstraint(period_ps=2000.0))
+        text = render_worst_paths(small_die, result, count=2)
+        assert "slack" in text and "arrival" in text
+
+
+@pytest.fixture(scope="module")
+def diagnosis_setup():
+    """A small circuit, its ATPG pattern set, and a diagnoser."""
+    builder = NetlistBuilder("diag")
+    a = builder.add_input("a")
+    b = builder.add_input("b")
+    c = builder.add_input("c")
+    n1 = builder.add_gate("NAND2_X1", [a, b], name="g1")
+    n2 = builder.add_gate("XOR2_X1", [n1, c], name="g2")
+    n3 = builder.add_gate("OR2_X1", [n1, n2], name="g3")
+    builder.add_output("po0", n2)
+    builder.add_output("po1", n3)
+    view = build_prebond_test_view(builder.finish())
+    engine = AtpgEngine(view, AtpgConfig(seed=5, block_width=32,
+                                         max_random_blocks=4,
+                                         podem_fault_limit=100))
+    result = engine.run()
+    diagnoser = FaultDiagnoser(view, result.patterns,
+                               fault_list=engine.fault_list)
+    return diagnoser, engine
+
+
+class TestDiagnosis:
+    def test_empty_patterns_rejected(self, diagnosis_setup):
+        diagnoser, _engine = diagnosis_setup
+        with pytest.raises(AtpgError):
+            FaultDiagnoser(diagnoser.view, [])
+
+    def test_self_diagnosis_ranks_injected_fault_first(self,
+                                                       diagnosis_setup):
+        """Simulate a defective die with a known fault; the diagnoser
+        must rank that fault (or an equivalent one) at score 1.0."""
+        diagnoser, _engine = diagnosis_setup
+        ranked_first = 0
+        tried = 0
+        for index in range(len(diagnoser.faults)):
+            syndrome = diagnoser.simulate_defect(index)
+            if not syndrome:
+                continue
+            tried += 1
+            result = diagnoser.diagnose(syndrome, top=5)
+            assert result.best is not None
+            assert result.best.score == pytest.approx(1.0)
+            described = {c.fault.describe() for c in result.candidates
+                         if c.score == result.best.score}
+            if diagnoser.faults[index].describe() in described:
+                ranked_first += 1
+            if tried >= 12:
+                break
+        # the injected fault itself must be among the exact matches in
+        # the vast majority of cases (equivalence classes allow ties)
+        assert ranked_first >= tried * 0.9
+
+    def test_empty_syndrome_yields_no_candidates(self, diagnosis_setup):
+        diagnoser, _engine = diagnosis_setup
+        result = diagnoser.diagnose(frozenset())
+        assert result.best is None
+
+    def test_scores_bounded(self, diagnosis_setup):
+        diagnoser, _engine = diagnosis_setup
+        syndrome = diagnoser.simulate_defect(0) or \
+            diagnoser.simulate_defect(1)
+        result = diagnoser.diagnose(syndrome, top=50)
+        for candidate in result.candidates:
+            assert 0.0 < candidate.score <= 1.0
+            assert candidate.matched_failures <= candidate.predicted_failures
+
+    def test_diagnosis_on_generated_die(self, small_test_view):
+        engine = AtpgEngine(small_test_view, AtpgConfig(
+            seed=5, block_width=64, max_random_blocks=4,
+            podem_fault_limit=0))
+        result = engine.run()
+        diagnoser = FaultDiagnoser(small_test_view, result.patterns,
+                                   fault_list=engine.fault_list)
+        syndrome = diagnoser.simulate_defect(3)
+        if syndrome:
+            diagnosis = diagnoser.diagnose(syndrome, top=3)
+            assert diagnosis.best is not None
+            assert diagnosis.best.score > 0.5

@@ -1,0 +1,85 @@
+"""Tests for placement and wirelength."""
+
+import pytest
+
+from repro.bench.generator import generate_die
+from repro.bench.itc99 import die_profile
+from repro.place.placer import PlacementConfig, place_die
+from repro.place.wirelength import hpwl_of_net, manhattan, total_hpwl, wire_length_um
+
+
+@pytest.fixture(scope="module")
+def placed():
+    netlist = generate_die(die_profile("b12", 1), seed=3)
+    result = place_die(netlist, PlacementConfig(seed=3))
+    return netlist, result
+
+
+class TestPlacement:
+    def test_everything_inside_die(self, placed):
+        netlist, result = placed
+        for inst in netlist.instances.values():
+            assert 0 <= inst.x <= result.die_width_um
+            assert 0 <= inst.y <= result.die_height_um
+        for port in netlist.ports.values():
+            assert 0 <= port.x <= result.die_width_um
+            assert 0 <= port.y <= result.die_height_um
+
+    def test_tsv_sites_distinct(self, placed):
+        netlist, _ = placed
+        tsv_positions = [(p.x, p.y) for p in netlist.ports.values()
+                         if p.is_tsv]
+        assert len(set(tsv_positions)) == len(tsv_positions)
+
+    def test_cell_sites_distinct(self, placed):
+        netlist, _ = placed
+        positions = [(i.x, i.y) for i in netlist.instances.values()]
+        assert len(set(positions)) == len(positions)
+
+    def test_deterministic(self):
+        a = generate_die(die_profile("b11", 0), seed=3)
+        b = generate_die(die_profile("b11", 0), seed=3)
+        place_die(a, PlacementConfig(seed=3))
+        place_die(b, PlacementConfig(seed=3))
+        assert all(a.instances[n].x == b.instances[n].x
+                   for n in a.instances)
+
+    def test_placement_beats_random_on_hpwl(self):
+        """Force-directed refinement should do better than no iterations."""
+        refined = generate_die(die_profile("b12", 1), seed=3)
+        place_die(refined, PlacementConfig(seed=3, iterations=12))
+        shuffled = generate_die(die_profile("b12", 1), seed=3)
+        place_die(shuffled, PlacementConfig(seed=3, iterations=0))
+        assert total_hpwl(refined) < total_hpwl(shuffled)
+
+    def test_die_area_tracks_cell_area(self):
+        small = generate_die(die_profile("b11", 0), seed=3)
+        large = generate_die(die_profile("b12", 1), seed=3)
+        small_result = place_die(small)
+        large_result = place_die(large)
+        assert large_result.die_width_um > small_result.die_width_um
+
+
+class TestWirelength:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((1, 1), (1, 1)) == 0
+
+    def test_wire_length_between_objects(self, placed):
+        netlist, _ = placed
+        ff = netlist.scan_flip_flops()[0]
+        tsv = netlist.inbound_tsvs()[0]
+        distance = wire_length_um(netlist, ff.name, tsv.name)
+        assert distance >= 0
+
+    def test_hpwl_zero_for_single_endpoint_nets(self, placed):
+        netlist, _ = placed
+        for net in netlist.nets.values():
+            endpoints = len(net.sinks) + (1 if net.driver else 0)
+            if endpoints < 2:
+                assert hpwl_of_net(netlist, net.name) == 0.0
+                break
+
+    def test_total_hpwl_positive(self, placed):
+        netlist, _ = placed
+        assert total_hpwl(netlist) > 0

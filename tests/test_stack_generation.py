@@ -1,0 +1,49 @@
+"""Tests for whole-stack generation (bench.stack)."""
+
+import pytest
+
+from repro.bench.itc99 import profiles_for_circuit
+from repro.bench.stack import generate_stack
+
+
+class TestGeneratedStackCalibration:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        return generate_stack("b12", seed=8)
+
+    def test_die_profiles_match_table(self, stack):
+        for profile, die in zip(profiles_for_circuit("b12"), stack.dies):
+            stats = die.stats()
+            assert stats["gates"] == profile.gates
+            assert stats["inbound_tsvs"] == profile.inbound_tsvs
+            assert stats["outbound_tsvs"] == profile.outbound_tsvs
+
+    def test_every_bonded_link_unique_endpoints(self, stack):
+        sources = [(l.source_die, l.source_port) for l in stack.links]
+        targets = [(l.target_die, l.target_port) for l in stack.links
+                   if not l.is_external]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+
+    def test_no_self_links(self, stack):
+        for link in stack.links:
+            if not link.is_external:
+                assert link.source_die != link.target_die
+
+    def test_all_inbounds_bonded_when_possible(self, stack):
+        total_in = sum(len(d.inbound_tsvs()) for d in stack.dies)
+        total_out = sum(len(d.outbound_tsvs()) for d in stack.dies)
+        bonded = sum(1 for l in stack.links if not l.is_external)
+        assert bonded == min(total_in, total_out)
+
+    def test_deterministic(self):
+        a = generate_stack("b12", seed=8)
+        b = generate_stack("b12", seed=8)
+        assert [(l.name, l.source_die, l.target_die) for l in a.links] \
+            == [(l.name, l.source_die, l.target_die) for l in b.links]
+
+    def test_tsv_count_matches_summary(self, stack):
+        summary = stack.summary()
+        assert len(summary) == 4
+        assert stack.tsv_count() == sum(
+            s["inbound_tsvs"] + s["outbound_tsvs"] for s in summary)

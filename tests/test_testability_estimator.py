@@ -1,0 +1,94 @@
+"""Tests for the overlapped-cone testability estimator."""
+
+import pytest
+
+from repro.core.config import Scenario, WcmConfig
+from repro.core.testability import (
+    OverlapEstimate,
+    OverlapTestabilityEstimator,
+    build_ideal_wrapped_view,
+)
+from repro.netlist.core import PortKind
+
+
+@pytest.fixture(scope="module")
+def estimator(medium_problem):
+    config = WcmConfig.ours(Scenario.area_optimized(),
+                            estimator_mode="faultsim")
+    return OverlapTestabilityEstimator(medium_problem, config), \
+        medium_problem
+
+
+def overlapped_pairs(problem, kind, limit=6):
+    tsvs = problem.tsvs_of_kind(kind)
+    pairs = []
+    for i, a in enumerate(tsvs):
+        for b in tsvs[i + 1:]:
+            region = problem.cones.overlap(a, b, kind)
+            if region:
+                pairs.append((a, b, region))
+                if len(pairs) >= limit:
+                    return pairs
+    return pairs
+
+
+class TestIdealView:
+    def test_inbound_tsvs_controllable(self, medium_problem):
+        view = build_ideal_wrapped_view(medium_problem.netlist)
+        inbound_nets = {p.net for p in medium_problem.netlist.inbound_tsvs()}
+        assert inbound_nets <= set(view.control_nets)
+
+    def test_outbound_tsvs_observable(self, medium_problem):
+        view = build_ideal_wrapped_view(medium_problem.netlist)
+        observed = {net for _l, net in view.observe_nets}
+        outbound_nets = {p.net
+                         for p in medium_problem.netlist.outbound_tsvs()}
+        assert outbound_nets <= observed
+
+
+class TestEstimates:
+    def test_estimates_are_bounded_and_cached(self, estimator):
+        est, problem = estimator
+        pairs = overlapped_pairs(problem, PortKind.TSV_INBOUND)
+        assert pairs, "expected intra-cluster overlapped pairs"
+        for a, b, region in pairs:
+            result = est.estimate(a, b, PortKind.TSV_INBOUND, region)
+            assert 0.0 <= result.coverage_drop <= 1.0
+            assert result.extra_patterns >= 0
+            again = est.estimate(a, b, PortKind.TSV_INBOUND, region)
+            assert again is result  # cached object
+
+    def test_cache_is_symmetric(self, estimator):
+        est, problem = estimator
+        pairs = overlapped_pairs(problem, PortKind.TSV_OUTBOUND, limit=2)
+        for a, b, region in pairs:
+            first = est.estimate(a, b, PortKind.TSV_OUTBOUND, region)
+            swapped = est.estimate(b, a, PortKind.TSV_OUTBOUND, region)
+            assert swapped is first
+
+    def test_structural_mode_scales_with_overlap(self, medium_problem):
+        config = WcmConfig.ours(Scenario.area_optimized(),
+                                estimator_mode="structural")
+        est = OverlapTestabilityEstimator(medium_problem, config)
+        small = est._structural_estimate(frozenset({"g1"}))
+        big = est._structural_estimate(frozenset(f"g{i}" for i in range(40)))
+        assert big.coverage_drop > small.coverage_drop
+        assert big.extra_patterns >= small.extra_patterns
+
+    def test_budget_falls_back_to_structural(self, medium_problem):
+        config = WcmConfig.ours(Scenario.area_optimized(),
+                                estimator_mode="faultsim",
+                                estimator_budget=0)
+        est = OverlapTestabilityEstimator(medium_problem, config)
+        pairs = overlapped_pairs(medium_problem, PortKind.TSV_INBOUND,
+                                 limit=1)
+        a, b, region = pairs[0]
+        result = est.estimate(a, b, PortKind.TSV_INBOUND, region)
+        assert result.mode == "structural"
+
+    def test_within_threshold_logic(self):
+        estimate = OverlapEstimate(coverage_drop=0.004, extra_patterns=9,
+                                   mode="structural")
+        assert estimate.within(0.005, 10)
+        assert not estimate.within(0.003, 10)
+        assert not estimate.within(0.005, 9)

@@ -1,0 +1,151 @@
+"""Tests for the reuse timing models (accurate vs load-only)."""
+
+import math
+
+import pytest
+
+from repro.core.config import Scenario, WcmConfig
+from repro.core.timing_model import FfReuseLedger, ReuseTimingModel
+from repro.netlist.core import PortKind
+
+
+@pytest.fixture(scope="module")
+def models(medium_scenarios, medium_problem):
+    _area, tight, problem_tight = medium_scenarios
+    ours = ReuseTimingModel(problem_tight, WcmConfig.ours(tight))
+    agrawal = ReuseTimingModel(problem_tight, WcmConfig.agrawal(tight))
+    return ours, agrawal, problem_tight
+
+
+class TestLoads:
+    def test_accurate_load_includes_wire(self, models):
+        ours, agrawal, problem = models
+        for tsv in problem.inbound_tsvs[:10]:
+            assert ours.model_load_ff(tsv) >= agrawal.model_load_ff(tsv)
+
+    def test_pin_load_matches_netlist(self, models):
+        ours, _agrawal, problem = models
+        tsv = problem.inbound_tsvs[0]
+        net = problem.netlist.port(tsv).net
+        assert ours.pin_load_ff(tsv) == pytest.approx(
+            problem.netlist.sink_cap_ff(net))
+
+
+class TestNodeFilters:
+    def test_area_scenario_slack_filter_open(self, medium_problem):
+        config = WcmConfig.ours(Scenario.area_optimized())
+        model = ReuseTimingModel(medium_problem, config)
+        for tsv in medium_problem.outbound_tsvs[:10]:
+            assert model.outbound_node_eligible(tsv)
+
+    def test_cap_filter_excludes_heavy_tsvs(self, models):
+        ours, _agrawal, problem = models
+        loads = {t: ours.model_load_ff(t) for t in problem.inbound_tsvs}
+        threshold = ours.config.scenario.cap_th_ff
+        for tsv, load in loads.items():
+            assert ours.inbound_node_eligible(tsv) == (load < threshold)
+
+
+class TestPairFeasibility:
+    def test_untimed_scenario_always_feasible(self, medium_problem):
+        config = WcmConfig.ours(Scenario.area_optimized())
+        model = ReuseTimingModel(medium_problem, config)
+        ff = medium_problem.scan_ffs[0]
+        tsv = medium_problem.inbound_tsvs[0]
+        assert model.inbound_reuse_feasible(ff, tsv)
+        assert model.outbound_reuse_feasible(
+            ff, medium_problem.outbound_tsvs[0])
+
+    def test_ff_ff_pairs_never_feasible(self, models):
+        ours, _agrawal, problem = models
+        a, b = problem.scan_ffs[:2]
+        assert not ours.pair_feasible(a, b, PortKind.TSV_INBOUND,
+                                      a_is_ff=True, b_is_ff=True)
+
+    def test_accurate_model_stricter_than_load_only(self, models):
+        """Anything ours admits under tight timing, [4]'s wire-blind
+        model admits too (it ignores a positive cost term)."""
+        ours, agrawal, problem = models
+        ffs = problem.scan_ffs[:8]
+        tsvs = problem.inbound_tsvs[:8]
+        for ff in ffs:
+            for tsv in tsvs:
+                if ours.inbound_reuse_feasible(ff, tsv):
+                    assert agrawal.inbound_reuse_feasible(ff, tsv)
+
+    def test_distance_matters_only_with_wire(self, models):
+        ours, agrawal, problem = models
+        ff = problem.scan_ffs[0]
+        near = min(problem.inbound_tsvs,
+                   key=lambda t: ours.distance_um(ff, t))
+        far = max(problem.inbound_tsvs,
+                  key=lambda t: ours.distance_um(ff, t))
+        assert ours.distance_um(ff, near) < ours.distance_um(ff, far)
+
+
+class TestCliqueStates:
+    def test_initial_state_inbound(self, models):
+        ours, _agrawal, problem = models
+        tsv = problem.inbound_tsvs[0]
+        state = ours.initial_state(tsv, PortKind.TSV_INBOUND, is_ff=False)
+        assert state.members == (tsv,)
+        assert state.cap_ff > 0
+        assert not state.has_ff
+
+    def test_merge_rejects_two_ffs(self, models):
+        ours, _agrawal, problem = models
+        a = ours.initial_state(problem.scan_ffs[0], PortKind.TSV_INBOUND,
+                               is_ff=True)
+        b = ours.initial_state(problem.scan_ffs[1], PortKind.TSV_INBOUND,
+                               is_ff=True)
+        assert ours.merged_state(a, b) is None
+
+    def test_merge_accumulates_cap(self, models):
+        ours, _agrawal, problem = models
+        t1, t2 = problem.inbound_tsvs[:2]
+        a = ours.initial_state(t1, PortKind.TSV_INBOUND, is_ff=False)
+        b = ours.initial_state(t2, PortKind.TSV_INBOUND, is_ff=False)
+        merged = ours.merged_state(a, b)
+        if merged is not None:
+            assert merged.cap_ff >= a.cap_ff + b.cap_ff
+            assert set(merged.members) == {t1, t2}
+
+    def test_merge_respects_group_size_rule(self, models):
+        ours, _agrawal, problem = models
+        tsvs = problem.inbound_tsvs
+        state = ours.initial_state(tsvs[0], PortKind.TSV_INBOUND, False)
+        grown = [tsvs[0]]
+        for tsv in tsvs[1:]:
+            nxt = ours.merged_state(
+                state, ours.initial_state(tsv, PortKind.TSV_INBOUND, False))
+            if nxt is None:
+                continue
+            state = nxt
+            grown.append(tsv)
+        assert len(state.members) <= ours.config.max_group_size
+
+
+class TestLedger:
+    def test_outbound_single_use(self, medium_problem):
+        config = WcmConfig.ours(Scenario.area_optimized())
+        model = ReuseTimingModel(medium_problem, config)
+        ledger = FfReuseLedger(model)
+        ff = medium_problem.scan_ffs[0]
+        tsv = medium_problem.outbound_tsvs[0]
+        state = model.initial_state(tsv, PortKind.TSV_OUTBOUND, False)
+        assert ledger.outbound_adoption_feasible(ff, state)
+        ledger.commit(ff, state)
+        assert not ledger.outbound_adoption_feasible(ff, state)
+
+    def test_inbound_budget_accumulates(self, models):
+        ours, _agrawal, problem = models
+        ledger = FfReuseLedger(ours)
+        ff = problem.scan_ffs[0]
+        tsv = problem.inbound_tsvs[0]
+        state = ours.initial_state(tsv, PortKind.TSV_INBOUND, False)
+        adoptions = 0
+        while ledger.inbound_adoption_feasible(ff, state) and adoptions < 100:
+            ledger.commit(ff, state)
+            adoptions += 1
+        # the Q-slack budget must bound repeated adoptions eventually
+        assert adoptions < 100
