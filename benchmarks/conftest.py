@@ -8,6 +8,11 @@ Scale: benches default to the ``smoke`` scale (b11 + b12, reduced ATPG
 budgets — minutes, exercising every code path). Set ``REPRO_SCALE=
 default`` (all circuits but b18) or ``REPRO_SCALE=full`` for the
 complete sweeps; see DESIGN.md §6.
+
+Runtime: ``REPRO_JOBS=N`` fans experiment cells out over N worker
+processes (0 = one per CPU) and ``REPRO_CACHE_DIR=PATH`` enables the
+persistent result cache, so a repeated sweep replays from disk. Both
+are byte-transparent: the regenerated tables are identical either way.
 """
 
 import os
@@ -15,6 +20,7 @@ import os
 import pytest
 
 from repro.experiments.common import SCALES, resolve_scale
+from repro.runtime import configure
 
 
 @pytest.fixture(scope="session")
@@ -24,8 +30,13 @@ def scale():
         chosen = SCALES["smoke"]
     else:
         chosen = resolve_scale()
-    print(f"\n[benchmarks running at scale={chosen.name}; "
-          f"set REPRO_SCALE=default|full for larger sweeps]")
+    config = configure()  # adopt REPRO_JOBS / REPRO_CACHE_DIR
+    cache = (config.cache_dir or "off") \
+        if not config.no_cache else "disabled"
+    print(f"\n[benchmarks running at scale={chosen.name}, "
+          f"jobs={config.jobs}, cache={cache}; "
+          f"set REPRO_SCALE=default|full for larger sweeps, "
+          f"REPRO_JOBS/REPRO_CACHE_DIR to parallelize or cache]")
     return chosen
 
 

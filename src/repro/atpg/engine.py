@@ -28,6 +28,7 @@ from repro.atpg.faults import Fault, FaultKind, FaultList, build_fault_list
 from repro.atpg.podem import PodemGenerator
 from repro.atpg.sim import CompiledCircuit
 from repro.dft.testview import TestView
+from repro.runtime import instrument
 from repro.util.errors import AtpgError
 from repro.util.rng import DeterministicRng
 
@@ -168,35 +169,38 @@ class AtpgEngine:
         random_kept = 0
 
         # ---- phase 1: random blocks with dropping ----------------------
-        idle = 0
-        for _block in range(config.max_random_blocks):
-            active = [i for i, s in enumerate(status) if s == _ACTIVE]
-            if not active:
-                break
-            input_words = [self.rng.getrandbits(config.block_width)
-                           for _ in range(columns)]
-            good = circuit.simulate(input_words, mask)
-            first_detector: Dict[int, int] = {}  # pattern k -> #faults
-            for fault_index in active:
-                det = self.dispatcher.detect_word(circuit, good, fault_index,
-                                                  mask)
-                if det:
-                    status[fault_index] = _DETECTED
-                    k = (det & -det).bit_length() - 1
-                    first_detector[k] = first_detector.get(k, 0) + 1
-            if not first_detector:
-                idle += 1
-                if idle >= config.stop_after_idle_blocks:
-                    break
-                continue
+        with instrument.phase("atpg.random"):
             idle = 0
-            for k in sorted(first_detector):
-                pattern = 0
-                for j in range(columns):
-                    if (input_words[j] >> k) & 1:
-                        pattern |= (1 << j)
-                kept_patterns.append(pattern)
-                random_kept += 1
+            for _block in range(config.max_random_blocks):
+                active = [i for i, s in enumerate(status) if s == _ACTIVE]
+                if not active:
+                    break
+                instrument.count("atpg.random_blocks")
+                input_words = [self.rng.getrandbits(config.block_width)
+                               for _ in range(columns)]
+                good = circuit.simulate(input_words, mask)
+                first_detector: Dict[int, int] = {}  # pattern k -> #faults
+                for fault_index in active:
+                    det = self.dispatcher.detect_word(circuit, good,
+                                                      fault_index, mask)
+                    if det:
+                        status[fault_index] = _DETECTED
+                        k = (det & -det).bit_length() - 1
+                        first_detector[k] = first_detector.get(k, 0) + 1
+                if not first_detector:
+                    idle += 1
+                    if idle >= config.stop_after_idle_blocks:
+                        break
+                    continue
+                idle = 0
+                for k in sorted(first_detector):
+                    pattern = 0
+                    for j in range(columns):
+                        if (input_words[j] >> k) & 1:
+                            pattern |= (1 << j)
+                    kept_patterns.append(pattern)
+                    random_kept += 1
+        instrument.count("atpg.random_patterns", random_kept)
 
         # ---- phase 2: PODEM top-up -------------------------------------
         generator = PodemGenerator(circuit, config.backtrack_limit)
@@ -233,37 +237,42 @@ class AtpgEngine:
 
         podem_budget = config.podem_fault_limit
         attempts = 0
-        for fault_index, fault in enumerate(faults):
-            if status[fault_index] != _ACTIVE:
-                continue
-            if podem_budget is not None and attempts >= podem_budget:
-                break
-            attempts += 1
-            outcome = generator.run(fault)
-            if outcome.status == "untestable":
-                status[fault_index] = _UNTESTABLE
-            elif outcome.status == "aborted":
-                status[fault_index] = _ABORTED
-            else:
-                pattern = 0
-                for j, nid in enumerate(circuit.input_columns):
-                    if nid in outcome.assignment:
-                        bit = outcome.assignment[nid]
-                    else:
-                        bit = self.rng.randint(0, 1)
-                    if bit:
-                        pattern |= (1 << j)
-                batch.append(pattern)
-                batch_targets.append(fault_index)
-                status[fault_index] = _DETECTED  # verified by flush resim
-                if len(batch) >= config.block_width:
-                    status[fault_index] = _ACTIVE
-                    flush_batch()
-        flush_batch()
+        with instrument.phase("atpg.podem"):
+            for fault_index, fault in enumerate(faults):
+                if status[fault_index] != _ACTIVE:
+                    continue
+                if podem_budget is not None and attempts >= podem_budget:
+                    break
+                attempts += 1
+                outcome = generator.run(fault)
+                instrument.count("atpg.podem_attempts")
+                instrument.count("atpg.podem_backtracks", outcome.backtracks)
+                if outcome.status == "untestable":
+                    status[fault_index] = _UNTESTABLE
+                elif outcome.status == "aborted":
+                    status[fault_index] = _ABORTED
+                else:
+                    pattern = 0
+                    for j, nid in enumerate(circuit.input_columns):
+                        if nid in outcome.assignment:
+                            bit = outcome.assignment[nid]
+                        else:
+                            bit = self.rng.randint(0, 1)
+                        if bit:
+                            pattern |= (1 << j)
+                    batch.append(pattern)
+                    batch_targets.append(fault_index)
+                    status[fault_index] = _DETECTED  # verified by flush resim
+                    if len(batch) >= config.block_width:
+                        status[fault_index] = _ACTIVE
+                        flush_batch()
+            flush_batch()
+        instrument.count("atpg.deterministic_patterns", deterministic_kept)
 
         # ---- phase 3: optional reverse-order compaction ------------------
         if config.compaction and kept_patterns:
-            kept_patterns = self._compact(kept_patterns)
+            with instrument.phase("atpg.compaction"):
+                kept_patterns = self._compact(kept_patterns)
 
         detected = sum(1 for s in status if s == _DETECTED)
         untestable = sum(1 for s in status if s == _UNTESTABLE)

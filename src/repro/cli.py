@@ -5,10 +5,21 @@ Commands:
 * ``table1 | table2 | table3 | table4 | table5 | figure7`` — regenerate
   one of the paper's artifacts and print it (``--scale smoke|default|
   full`` overrides ``$REPRO_SCALE``),
-* ``all-tables`` — everything, in paper order,
+* ``all-tables`` (alias ``tables``) — everything, in paper order,
 * ``die <circuit> <die>`` — run both methods on one die and print the
   head-to-head (plus ``--atpg`` for coverage, ``--area`` for um²),
+* ``profile <circuit> <die>`` — run both methods instrumented and
+  print per-phase wall-clock timers and work counters,
 * ``export <path>`` — write every table as markdown into a results file.
+
+Runtime flags (valid before or after the subcommand):
+
+* ``--jobs N`` — run experiment cells on N worker processes (``0`` =
+  one per CPU). Output is byte-identical to a serial run.
+* ``--cache-dir PATH`` — enable the content-addressed result cache
+  rooted at PATH (``$REPRO_CACHE_DIR`` is the env equivalent); reruns
+  then skip every already-computed flow/ATPG cell.
+* ``--no-cache`` — force the cache off even when configured.
 """
 
 from __future__ import annotations
@@ -29,6 +40,8 @@ from repro.experiments import (
     run_table5,
 )
 from repro.experiments.common import scale_banner
+from repro.runtime import configure
+from repro.util.errors import ConfigError
 
 _DRIVERS: Dict[str, Callable] = {
     "table1": run_table1,
@@ -65,8 +78,9 @@ def _cmd_die(args: argparse.Namespace) -> int:
     from repro.dft.area import plan_area_estimate
     from repro.util.tables import AsciiTable, format_percent
 
+    seed = getattr(args, "seed", 2019)
     profile = die_profile(args.circuit, args.die)
-    netlist = generate_die(profile, seed=args.seed)
+    netlist = generate_die(profile, seed=seed)
     problem = build_problem(netlist)
     clock = tight_clock_for(problem)
     problem_tight = problem.retime(clock)
@@ -92,7 +106,7 @@ def _cmd_die(args: argparse.Namespace) -> int:
             ])
             if args.atpg and scenario_name == "tight":
                 report = measure_testability(
-                    run, AtpgConfig(seed=args.seed),
+                    run, AtpgConfig(seed=seed),
                     include_transition=False)
                 print(f"  {method_name}: stuck-at coverage "
                       f"{format_percent(report.stuck_at.coverage)}, "
@@ -101,8 +115,41 @@ def _cmd_die(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Instrumented head-to-head of one die: where does the time go?"""
+    from repro.atpg.engine import AtpgConfig
+    from repro.bench import die_profile, generate_die
+    from repro.core import Scenario, WcmConfig, build_problem, run_wcm_flow
+    from repro.core.flow import measure_testability
+    from repro.core.problem import tight_clock_for
+    from repro.runtime import instrument
+
+    seed = getattr(args, "seed", 2019)
+    profile = die_profile(args.circuit, args.die)
+    print(f"profiling {profile.name} (seed {seed})")
+    netlist = generate_die(profile, seed=seed)
+    problem = build_problem(netlist)
+    clock = tight_clock_for(problem)
+    problem_tight = problem.retime(clock)
+    scenario = Scenario.performance_optimized(clock.period_ps)
+    for method_name, config in (
+            ("agrawal", WcmConfig.agrawal(scenario)),
+            ("ours", WcmConfig.ours(scenario))):
+        with instrument.collect() as report:
+            started = time.perf_counter()
+            run = run_wcm_flow(problem_tight, config)
+            if args.atpg:
+                measure_testability(run, AtpgConfig(seed=seed),
+                                    include_transition=False)
+            elapsed = time.perf_counter() - started
+        print(report.render(
+            title=f"{profile.name} {method_name}/tight — "
+                  f"{elapsed:.2f}s wall-clock"))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
-    scale = resolve_scale(args.scale)
+    scale = resolve_scale(getattr(args, "scale", None))
     sections = []
     for name in _EXPORT_ORDER:
         print(f"regenerating {name}...", flush=True)
@@ -115,42 +162,87 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """Options shared by the root parser and every subcommand.
+
+    Subparsers must default to SUPPRESS: a plain default would
+    overwrite a value the user already gave before the subcommand.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", choices=("smoke", "default", "full"),
+                        default=argparse.SUPPRESS)
+    common.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    common.add_argument("-v", "--verbose", action="store_true",
+                        default=argparse.SUPPRESS)
+    common.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                        metavar="N",
+                        help="worker processes for experiment cells "
+                             "(0 = one per CPU; default serial)")
+    common.add_argument("--cache-dir", default=argparse.SUPPRESS,
+                        metavar="PATH",
+                        help="enable the on-disk result cache at PATH")
+    common.add_argument("--no-cache", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="disable the result cache")
+    return common
+
+
 def main(argv=None) -> int:
+    common = _common_options()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SOCC'19 timing-aware wrapper-cell reduction "
                     "reproduction",
+        parents=[common],
     )
-    parser.add_argument("--scale", choices=("smoke", "default", "full"),
-                        default=None)
-    parser.add_argument("--seed", type=int, default=2019)
-    parser.add_argument("-v", "--verbose", action="store_true")
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in _DRIVERS:
-        sub.add_parser(name, help=f"regenerate {name}")
-    sub.add_parser("all-tables", help="regenerate every table and figure")
+        sub.add_parser(name, help=f"regenerate {name}", parents=[common])
+    for alias in ("all-tables", "tables"):
+        sub.add_parser(alias, parents=[common],
+                       help="regenerate every table and figure")
 
-    die_parser = sub.add_parser("die", help="analyze one die head-to-head")
+    die_parser = sub.add_parser("die", parents=[common],
+                                help="analyze one die head-to-head")
     die_parser.add_argument("circuit")
     die_parser.add_argument("die", type=int)
     die_parser.add_argument("--atpg", action="store_true",
                             help="also run stuck-at ATPG (slower)")
 
-    export_parser = sub.add_parser("export",
+    profile_parser = sub.add_parser(
+        "profile", parents=[common],
+        help="instrumented per-phase timing of one die")
+    profile_parser.add_argument("circuit")
+    profile_parser.add_argument("die", type=int)
+    profile_parser.add_argument("--atpg", action="store_true",
+                                help="include stuck-at ATPG in the profile")
+
+    export_parser = sub.add_parser("export", parents=[common],
                                    help="write all tables to markdown")
     export_parser.add_argument("path")
 
     args = parser.parse_args(argv)
+    try:
+        configure(jobs=getattr(args, "jobs", None),
+                  cache_dir=getattr(args, "cache_dir", None),
+                  no_cache=getattr(args, "no_cache", None))
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+    scale_name = getattr(args, "scale", None)
+    verbose = getattr(args, "verbose", False)
     if args.command in _DRIVERS:
-        _run_driver(args.command, args.scale, args.verbose)
+        _run_driver(args.command, scale_name, verbose)
         return 0
-    if args.command == "all-tables":
+    if args.command in ("all-tables", "tables"):
         for name in _EXPORT_ORDER:
-            _run_driver(name, args.scale, args.verbose)
+            _run_driver(name, scale_name, verbose)
         return 0
     if args.command == "die":
         return _cmd_die(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "export":
         return _cmd_export(args)
     parser.error(f"unknown command {args.command}")

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.graph import WcmGraph
 from repro.core.timing_model import CliqueTimingState, ReuseTimingModel
 from repro.netlist.core import PortKind
+from repro.runtime import instrument
 
 
 @dataclass
@@ -118,11 +119,11 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
         if len(neighbours) <= 64:
             n2 = min(neighbours, key=lambda c: (len(adjacency[c]), c))
         else:
-            sample = []
-            for c in neighbours:
-                sample.append(c)
-                if len(sample) >= 64:
-                    break
+            # The sample must not depend on set-iteration order (clique
+            # ids are ints, but "first 64 seen" still tracks insertion
+            # history); take the 64 smallest ids — deterministic and
+            # O(n log 64).
+            sample = heapq.nsmallest(64, neighbours)
             n2 = min(sample, key=lambda c: (len(adjacency[c]), c))
 
         merged = model.merged_state(states[n1], states[n2])
@@ -166,7 +167,12 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
         cliques.append(Clique(kind=graph.kind, tsvs=list(member_list),
                               ff=ff_of[cid], state=states.get(cid)))
 
-    merges += _absorb_singletons(graph, model, cliques)
+    rescued = _absorb_singletons(graph, model, cliques)
+    merges += rescued
+
+    instrument.count("clique.merges", merges)
+    instrument.count("clique.rejected_merges", rejected)
+    instrument.count("clique.singleton_rescues", rescued)
 
     return CliquePartition(kind=graph.kind, cliques=cliques,
                            rejected_merges=rejected, merges=merges)

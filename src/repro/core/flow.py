@@ -36,6 +36,7 @@ from repro.dft.testview import build_prebond_test_view
 from repro.dft.wrapper import InsertionReport, WrapperGroup, WrapperPlan, insert_wrappers
 from repro.netlist.core import Netlist, PortKind
 from repro.netlist.topology import fanin_cone
+from repro.runtime import instrument
 from repro.sta.timer import TimingAnalyzer, TimingResult, default_case
 from repro.util.errors import ConfigError
 
@@ -124,7 +125,10 @@ def _adopt_ffs(problem: WcmProblem, graph, partition: CliquePartition,
             fx, fy = problem.location_of(ff)
             return abs(fx - anchor[0]) + abs(fy - anchor[1])
 
-        for ff in sorted(candidates, key=hop)[:max_candidates]:
+        # Tie-break lexicographically: *candidates* is a set of FF-name
+        # strings, and a plain stable sort would leave equidistant FFs
+        # in hash order (PYTHONHASHSEED-dependent).
+        for ff in sorted(candidates, key=lambda f: (hop(f), f))[:max_candidates]:
             if clique.state is not None \
                     and ledger.adoption_feasible(ff, clique.state):
                 clique.ff = ff
@@ -244,9 +248,11 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
     partitions: Dict[str, CliquePartition] = {}
 
     for kind in order:
-        graph = build_wcm_graph(problem, kind, all_ffs, config,
-                                model, estimator)
-        partition = partition_cliques(graph, model)
+        with instrument.phase("flow.graph"):
+            graph = build_wcm_graph(problem, kind, all_ffs, config,
+                                    model, estimator)
+        with instrument.phase("flow.partition"):
+            partition = partition_cliques(graph, model)
         graph_stats[kind.value] = graph.stats
         partitions[kind.value] = partition
 
@@ -255,7 +261,9 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
             if clique.ff is not None and clique.tsvs and clique.state:
                 ledger.commit(clique.ff, clique.state)
         # ...then FF-less cliques adopt FFs with remaining budget.
-        _adopt_ffs(problem, graph, partition, model, ledger)
+        with instrument.phase("flow.adoption"):
+            adopted = _adopt_ffs(problem, graph, partition, model, ledger)
+        instrument.count("flow.adopted_ffs", adopted)
 
         for clique in partition.cliques:
             if not clique.tsvs:
@@ -278,13 +286,18 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
               if (config.signoff_repair and config.scenario.is_timed) else 1)
     wrapped = report = functional_timing = test_timing = None
     for _round in range(max(1, rounds)):
-        wrapped, report = insert_wrappers(problem.netlist, plan)
-        stitch_scan_chains(wrapped, restitch=True)
-        analyzer = TimingAnalyzer(wrapped)
-        functional_timing = analyzer.analyze(
-            config.scenario.clock, case=default_case(wrapped, test_mode=0))
-        test_timing = analyzer.analyze(
-            config.scenario.clock, case=default_case(wrapped, test_mode=1))
+        instrument.count("flow.eco_rounds")
+        with instrument.phase("flow.insertion"):
+            wrapped, report = insert_wrappers(problem.netlist, plan)
+            stitch_scan_chains(wrapped, restitch=True)
+        with instrument.phase("flow.sta"):
+            analyzer = TimingAnalyzer(wrapped)
+            functional_timing = analyzer.analyze(
+                config.scenario.clock,
+                case=default_case(wrapped, test_mode=0))
+            test_timing = analyzer.analyze(
+                config.scenario.clock,
+                case=default_case(wrapped, test_mode=1))
         if not (config.signoff_repair and config.scenario.is_timed):
             break
         violations = ([(e, functional_timing)
@@ -299,6 +312,7 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
             wrapped, report, plan, violations, evict_budget=budget)
         if not changed:
             break
+        instrument.count("flow.eco_repairs")
 
     return WcmRunResult(
         die_name=problem.netlist.name,

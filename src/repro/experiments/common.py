@@ -168,8 +168,21 @@ def scale_banner(scale: ExperimentScale, extra: str = "") -> str:
 # ---------------------------------------------------------------------------
 # Method-run cache (per process) so tables III/IV/V share flow results.
 # ---------------------------------------------------------------------------
-from repro.core.flow import WcmRunResult, run_wcm_flow  # noqa: E402
+from repro.core.flow import (  # noqa: E402
+    TestabilityReport,
+    WcmRunResult,
+    measure_testability,
+    run_wcm_flow,
+)
 from repro.netlist.core import PortKind  # noqa: E402
+from repro.runtime.cache import (  # noqa: E402
+    WcmSummary,
+    active_cache,
+    atpg_cache_key,
+    atpg_result_from_payload,
+    atpg_result_to_payload,
+    wcm_cache_key,
+)
 
 _RUNS: Dict[tuple, "WcmRunResult"] = {}
 
@@ -203,3 +216,111 @@ def run_method(prepared: PreparedDie, config: WcmConfig,
 #: explicit orders for the Table I study
 ORDER_INBOUND_FIRST = (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND)
 ORDER_OUTBOUND_FIRST = (PortKind.TSV_OUTBOUND, PortKind.TSV_INBOUND)
+
+
+# ---------------------------------------------------------------------------
+# Cacheable experiment cells (repro.runtime integration)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MethodSpec:
+    """One experiment cell's method/scenario coordinates.
+
+    This is the *cache identity* of a WCM run: everything that selects
+    the computation without requiring the die to be prepared first
+    (the realized :class:`WcmConfig` embeds the tight-clock period,
+    which costs a full die preparation to discover — but the period is
+    itself a pure function of (profile, seed), already in the key).
+    """
+
+    method: str                  # "ours" | "agrawal"
+    scenario: str                # "area" | "tight"
+    no_overlap: bool = False     # Table V / Figure 7 ablation
+    #: TSV-set processing order override (Table I), as PortKind values
+    order: Optional[Tuple[str, ...]] = None
+
+    def realize(self, prepared: PreparedDie, scale: ExperimentScale
+                ) -> WcmConfig:
+        """Build the concrete config for this spec on a prepared die."""
+        area, tight = prepared.scenarios()
+        scenario = area if self.scenario == "area" else tight
+        config = method_config(self.method, scenario, scale)
+        if self.no_overlap:
+            config = config.without_overlap()
+        return config
+
+    @property
+    def order_override(self) -> Optional[Tuple[PortKind, ...]]:
+        if self.order is None:
+            return None
+        return tuple(PortKind(value) for value in self.order)
+
+
+def run_cell(circuit: str, die_index: int, seed: int,
+             scale: ExperimentScale, spec: MethodSpec,
+             with_atpg: bool = False, include_transition: bool = True
+             ) -> Tuple[WcmSummary, Optional[TestabilityReport]]:
+    """Run (or fetch from cache) one experiment cell.
+
+    Returns the WCM flow summary and, when *with_atpg* is set, the
+    testability report of the wrapped die. On a warm cache every
+    product is served from disk and neither the die preparation nor
+    the flow nor ATPG runs at all.
+    """
+    profile = die_profile(circuit, die_index)
+    cache = active_cache()
+
+    summary: Optional[WcmSummary] = None
+    report: Optional[TestabilityReport] = None
+    atpg_config = (scale.atpg_config(profile.gates, seed=seed)
+                   if with_atpg else None)
+    models = (("stuck_at", "transition") if include_transition
+              else ("stuck_at",)) if with_atpg else ()
+
+    if cache is not None:
+        key = wcm_cache_key(profile, seed, spec, scale.estimator_budget)
+        payload = cache.get(key)
+        if payload is not None:
+            summary = WcmSummary.from_payload(payload)
+        if with_atpg:
+            results = {}
+            for model in models:
+                atpg_key = atpg_cache_key(profile, seed, spec,
+                                          scale.estimator_budget,
+                                          atpg_config, model)
+                atpg_payload = cache.get(atpg_key)
+                if atpg_payload is None:
+                    results = None
+                    break
+                results[model] = atpg_result_from_payload(atpg_payload)
+            if results is not None:
+                report = TestabilityReport(
+                    stuck_at=results["stuck_at"],
+                    transition=results.get("transition"))
+
+    if summary is not None and (not with_atpg or report is not None):
+        return summary, report
+
+    # ---- cache miss: compute (run_method memoizes per process) -------
+    prepared = prepare_die(circuit, die_index, seed=seed)
+    config = spec.realize(prepared, scale)
+    run = run_method(prepared, config, order_override=spec.order_override)
+    summary = WcmSummary.from_run(run)
+    if cache is not None:
+        cache.put(wcm_cache_key(profile, seed, spec,
+                                scale.estimator_budget),
+                  summary.to_payload())
+    if with_atpg and report is None:
+        report = measure_testability(run, atpg_config,
+                                     include_transition=include_transition)
+        if cache is not None:
+            produced = {"stuck_at": report.stuck_at,
+                        "transition": report.transition}
+            for model in models:
+                result = produced[model]
+                if result is None:
+                    continue
+                cache.put(atpg_cache_key(profile, seed, spec,
+                                         scale.estimator_budget,
+                                         atpg_config, model),
+                          atpg_result_to_payload(result))
+    return summary, report

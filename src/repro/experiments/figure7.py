@@ -15,14 +15,14 @@ from typing import Dict, Optional, Tuple
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     dies_for_scale,
-    method_config,
-    prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
 from repro.experiments.paper_data import FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable
 
 
@@ -71,26 +71,33 @@ class Figure7Result:
                   f"+{FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT}%")
 
 
+def _die_cell(args: Tuple[str, int, int, ExperimentScale]) -> Figure7Row:
+    """Edge counts with/without overlap for one die (worker process)."""
+    circuit, die_index, seed, scale = args
+    with_overlap, _ = run_cell(circuit, die_index, seed, scale,
+                               MethodSpec("ours", "tight"))
+    without, _ = run_cell(circuit, die_index, seed, scale,
+                          MethodSpec("ours", "tight", no_overlap=True))
+    return Figure7Row(
+        edges_without=without.total_graph_edges,
+        edges_with=with_overlap.total_graph_edges,
+        overlap_edges=with_overlap.overlap_edges,
+    )
+
+
 def run_figure7(scale: Optional[ExperimentScale] = None,
-                seed: int = DEFAULT_SEED, verbose: bool = False
-                ) -> Figure7Result:
+                seed: int = DEFAULT_SEED, verbose: bool = False,
+                jobs: Optional[int] = None) -> Figure7Result:
     scale = scale or resolve_scale()
     result = Figure7Result(scale_name=scale.name)
-    for circuit, die_index in dies_for_scale(scale):
-        prepared = prepare_die(circuit, die_index, seed=seed)
-        _area, tight = prepared.scenarios()
-        with_overlap = run_method(prepared, method_config("ours", tight,
-                                                          scale))
-        without = run_method(
-            prepared, method_config("ours", tight, scale).without_overlap())
-        result.rows[(circuit, die_index)] = Figure7Row(
-            edges_without=without.total_graph_edges,
-            edges_with=with_overlap.total_graph_edges,
-            overlap_edges=sum(s.overlap_edges
-                              for s in with_overlap.graph_stats.values()),
-        )
+    dies = dies_for_scale(scale)
+    rows = parallel_map(
+        _die_cell,
+        [(circuit, die, seed, scale) for circuit, die in dies],
+        jobs=jobs, seed=seed)
+    for (circuit, die_index), row in zip(dies, rows):
+        result.rows[(circuit, die_index)] = row
         if verbose:
-            row = result.rows[(circuit, die_index)]
             print(f"  {circuit}_die{die_index}: {row.edges_without} -> "
                   f"{row.edges_with} ({row.increase_pct:+.2f}%)")
     if verbose:

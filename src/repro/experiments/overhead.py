@@ -17,13 +17,14 @@ from repro.dft.wrapper import dedicated_plan
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     dies_for_scale,
-    method_config,
     prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_percent
 
 
@@ -76,31 +77,49 @@ class OverheadResult:
         return table.render()
 
 
+def _die_cell(args: Tuple[str, int, int, ExperimentScale, str]
+              ) -> OverheadRow:
+    """Area pricing of all three plans for one die (worker process).
+
+    The um² pricing needs the generated netlist even on a warm cache
+    (plans are cached; silicon areas are recomputed from the library),
+    so this cell always pays die preparation — it is cheap relative to
+    the flows.
+    """
+    circuit, die_index, seed, scale, scenario_name = args
+    agrawal, _ = run_cell(circuit, die_index, seed, scale,
+                          MethodSpec("agrawal", scenario_name))
+    ours, _ = run_cell(circuit, die_index, seed, scale,
+                       MethodSpec("ours", scenario_name))
+    prepared = prepare_die(circuit, die_index, seed=seed)
+    netlist = prepared.problem_area.netlist
+    dedicated = plan_area_estimate(netlist, dedicated_plan(netlist))
+    return OverheadRow(
+        dedicated_overhead=dedicated.overhead_fraction,
+        agrawal_overhead=plan_area_estimate(
+            netlist, agrawal.plan).overhead_fraction,
+        ours_overhead=plan_area_estimate(
+            netlist, ours.plan).overhead_fraction,
+    )
+
+
 def run_overhead(scale: Optional[ExperimentScale] = None,
                  seed: int = DEFAULT_SEED, scenario_name: str = "area",
-                 verbose: bool = False) -> OverheadResult:
+                 verbose: bool = False,
+                 jobs: Optional[int] = None) -> OverheadResult:
     """Price every in-scale die's plans in um²."""
     scale = scale or resolve_scale()
     result = OverheadResult(scale_name=scale.name,
                             scenario_name=scenario_name)
-    for circuit, die_index in dies_for_scale(scale):
-        prepared = prepare_die(circuit, die_index, seed=seed)
-        area, tight = prepared.scenarios()
-        scenario = area if scenario_name == "area" else tight
-        netlist = prepared.problem_area.netlist
-        dedicated = plan_area_estimate(netlist, dedicated_plan(netlist))
-        agrawal = run_method(prepared,
-                             method_config("agrawal", scenario, scale))
-        ours = run_method(prepared, method_config("ours", scenario, scale))
-        result.rows[(circuit, die_index)] = OverheadRow(
-            dedicated_overhead=dedicated.overhead_fraction,
-            agrawal_overhead=plan_area_estimate(
-                netlist, agrawal.plan).overhead_fraction,
-            ours_overhead=plan_area_estimate(
-                netlist, ours.plan).overhead_fraction,
-        )
+    dies = dies_for_scale(scale)
+    rows = parallel_map(
+        _die_cell,
+        [(circuit, die, seed, scale, scenario_name)
+         for circuit, die in dies],
+        jobs=jobs, seed=seed)
+    for (circuit, die_index), row in zip(dies, rows):
+        result.rows[(circuit, die_index)] = row
         if verbose:
-            row = result.rows[(circuit, die_index)]
             print(f"  {circuit}_die{die_index}: ours "
                   f"{row.ours_overhead:.1%} vs dedicated "
                   f"{row.dedicated_overhead:.1%}")

@@ -16,19 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.flow import measure_testability
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     ORDER_INBOUND_FIRST,
     ORDER_OUTBOUND_FIRST,
-    method_config,
-    prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
 from repro.experiments.paper_data import TABLE1_PAPER
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_percent
 
 
@@ -84,25 +83,35 @@ class Table1Result:
         return sum(verdicts) >= (len(verdicts) + 1) // 2
 
 
+def _die_cell(args: Tuple[int, int, ExperimentScale]
+              ) -> Dict[str, Table1Cell]:
+    """Both processing orders on one b12 die (worker process)."""
+    die_index, seed, scale = args
+    row: Dict[str, Table1Cell] = {}
+    for label, order in (("inbound", ORDER_INBOUND_FIRST),
+                         ("outbound", ORDER_OUTBOUND_FIRST)):
+        spec = MethodSpec("agrawal", "tight",
+                          order=tuple(kind.value for kind in order))
+        summary, report = run_cell("b12", die_index, seed, scale, spec,
+                                   with_atpg=True,
+                                   include_transition=False)
+        row[label] = Table1Cell(
+            coverage=report.stuck_at.coverage,
+            wrapper_cells=summary.additional,
+        )
+    return row
+
+
 def run_table1(scale: Optional[ExperimentScale] = None,
-               seed: int = DEFAULT_SEED, verbose: bool = False
-               ) -> Table1Result:
+               seed: int = DEFAULT_SEED, verbose: bool = False,
+               jobs: Optional[int] = None) -> Table1Result:
     scale = scale or resolve_scale()
     result = Table1Result(scale_name=scale.name)
-    for die_index in range(4):
-        prepared = prepare_die("b12", die_index, seed=seed)
-        _area, tight = prepared.scenarios()
-        config = method_config("agrawal", tight, scale)
-        row: Dict[str, Table1Cell] = {}
-        for label, order in (("inbound", ORDER_INBOUND_FIRST),
-                             ("outbound", ORDER_OUTBOUND_FIRST)):
-            run = run_method(prepared, config, order_override=order)
-            atpg = scale.atpg_config(prepared.profile.gates, seed=seed)
-            report = measure_testability(run, atpg, include_transition=False)
-            row[label] = Table1Cell(
-                coverage=report.stuck_at.coverage,
-                wrapper_cells=run.additional_wrapper_cells,
-            )
+    rows = parallel_map(
+        _die_cell,
+        [(die_index, seed, scale) for die_index in range(4)],
+        jobs=jobs, seed=seed)
+    for die_index, row in enumerate(rows):
         result.rows[die_index] = row
         if verbose:
             print(f"  b12_die{die_index}: inbound-first "

@@ -18,14 +18,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     dies_for_scale,
-    method_config,
-    prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
 from repro.experiments.paper_data import TABLE3_PAPER_SUMMARY
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable
 
 _CONFIG_KEYS = ("agrawal_area", "ours_area", "agrawal_tight", "ours_tight")
@@ -113,28 +113,42 @@ class Table3Result:
         return "\n".join(lines)
 
 
+#: the four configurations of one Table III row
+_SPECS: Tuple[Tuple[str, MethodSpec], ...] = (
+    ("agrawal_area", MethodSpec("agrawal", "area")),
+    ("ours_area", MethodSpec("ours", "area")),
+    ("agrawal_tight", MethodSpec("agrawal", "tight")),
+    ("ours_tight", MethodSpec("ours", "tight")),
+)
+
+
+def _die_cell(args: Tuple[str, int, int, ExperimentScale]
+              ) -> Dict[str, Table3Cell]:
+    """One die's four-configuration row (runs in a worker process)."""
+    circuit, die_index, seed, scale = args
+    row: Dict[str, Table3Cell] = {}
+    for key, spec in _SPECS:
+        summary, _report = run_cell(circuit, die_index, seed, scale, spec)
+        row[key] = Table3Cell(
+            reused=summary.reused,
+            additional=summary.additional,
+            violation=summary.violation and spec.scenario == "tight",
+        )
+    return row
+
+
 def run_table3(scale: Optional[ExperimentScale] = None,
-               seed: int = DEFAULT_SEED, verbose: bool = False
-               ) -> Table3Result:
+               seed: int = DEFAULT_SEED, verbose: bool = False,
+               jobs: Optional[int] = None) -> Table3Result:
     """Run both methods under both scenarios on every in-scale die."""
     scale = scale or resolve_scale()
     result = Table3Result(scale_name=scale.name)
-    for circuit, die_index in dies_for_scale(scale):
-        prepared = prepare_die(circuit, die_index, seed=seed)
-        area, tight = prepared.scenarios()
-        row: Dict[str, Table3Cell] = {}
-        for key, method, scenario in (
-                ("agrawal_area", "agrawal", area),
-                ("ours_area", "ours", area),
-                ("agrawal_tight", "agrawal", tight),
-                ("ours_tight", "ours", tight)):
-            config = method_config(method, scenario, scale)
-            run = run_method(prepared, config)
-            row[key] = Table3Cell(
-                reused=run.reused_scan_ffs,
-                additional=run.additional_wrapper_cells,
-                violation=run.timing_violation and scenario.is_timed,
-            )
+    dies = dies_for_scale(scale)
+    rows = parallel_map(
+        _die_cell,
+        [(circuit, die, seed, scale) for circuit, die in dies],
+        jobs=jobs, seed=seed)
+    for (circuit, die_index), row in zip(dies, rows):
         result.cells[(circuit, die_index)] = row
         if verbose:
             cell = row["ours_tight"]

@@ -12,18 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.flow import measure_testability
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     dies_for_scale,
-    method_config,
-    prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
 from repro.experiments.paper_data import TABLE4_PAPER_AVERAGE
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_pair
 
 
@@ -84,26 +83,35 @@ class Table4Result:
         return "\n".join(lines)
 
 
+def _die_cell(args: Tuple[str, int, int, ExperimentScale]
+              ) -> Dict[str, Table4Cell]:
+    """Both methods' ATPG measurements for one die (worker process)."""
+    circuit, die_index, seed, scale = args
+    row: Dict[str, Table4Cell] = {}
+    for method in ("agrawal", "ours"):
+        _summary, report = run_cell(circuit, die_index, seed, scale,
+                                    MethodSpec(method, "tight"),
+                                    with_atpg=True)
+        row[method] = Table4Cell(
+            stuck_at=(report.stuck_at.coverage,
+                      report.stuck_at.pattern_count),
+            transition=(report.transition.coverage,
+                        report.transition.pattern_count),
+        )
+    return row
+
+
 def run_table4(scale: Optional[ExperimentScale] = None,
-               seed: int = DEFAULT_SEED, verbose: bool = False
-               ) -> Table4Result:
+               seed: int = DEFAULT_SEED, verbose: bool = False,
+               jobs: Optional[int] = None) -> Table4Result:
     scale = scale or resolve_scale()
     result = Table4Result(scale_name=scale.name)
-    for circuit, die_index in dies_for_scale(scale):
-        prepared = prepare_die(circuit, die_index, seed=seed)
-        _area, tight = prepared.scenarios()
-        atpg = scale.atpg_config(prepared.profile.gates, seed=seed)
-        row: Dict[str, Table4Cell] = {}
-        for method in ("agrawal", "ours"):
-            config = method_config(method, tight, scale)
-            run = run_method(prepared, config)
-            report = measure_testability(run, atpg)
-            row[method] = Table4Cell(
-                stuck_at=(report.stuck_at.coverage,
-                          report.stuck_at.pattern_count),
-                transition=(report.transition.coverage,
-                            report.transition.pattern_count),
-            )
+    dies = dies_for_scale(scale)
+    rows = parallel_map(
+        _die_cell,
+        [(circuit, die, seed, scale) for circuit, die in dies],
+        jobs=jobs, seed=seed)
+    for (circuit, die_index), row in zip(dies, rows):
         result.cells[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: "

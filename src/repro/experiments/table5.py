@@ -12,18 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.core.flow import measure_testability
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentScale,
+    MethodSpec,
     dies_for_scale,
-    method_config,
-    prepare_die,
     resolve_scale,
-    run_method,
+    run_cell,
     scale_banner,
 )
 from repro.experiments.paper_data import TABLE5_PAPER_AVERAGE
+from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_pair
 
 #: the paper restricts Table V to the three largest circuit families
@@ -93,9 +92,29 @@ class Table5Result:
         return "\n".join(lines)
 
 
+def _die_cell(args: Tuple[str, int, int, ExperimentScale]
+              ) -> Dict[str, Table5Cell]:
+    """Overlap on/off ATPG measurements for one die (worker process)."""
+    circuit, die_index, seed, scale = args
+    row: Dict[str, Table5Cell] = {}
+    for key in ("no_overlap", "overlap"):
+        spec = MethodSpec("ours", "tight", no_overlap=(key == "no_overlap"))
+        summary, report = run_cell(circuit, die_index, seed, scale, spec,
+                                   with_atpg=True)
+        row[key] = Table5Cell(
+            reused=summary.reused,
+            additional=summary.additional,
+            stuck_at=(report.stuck_at.coverage,
+                      report.stuck_at.pattern_count),
+            transition=(report.transition.coverage,
+                        report.transition.pattern_count),
+        )
+    return row
+
+
 def run_table5(scale: Optional[ExperimentScale] = None,
-               seed: int = DEFAULT_SEED, verbose: bool = False
-               ) -> Table5Result:
+               seed: int = DEFAULT_SEED, verbose: bool = False,
+               jobs: Optional[int] = None) -> Table5Result:
     scale = scale or resolve_scale()
     result = Table5Result(scale_name=scale.name)
     dies = dies_for_scale(scale, circuits=TABLE5_CIRCUITS)
@@ -103,25 +122,11 @@ def run_table5(scale: Optional[ExperimentScale] = None,
         # Smoke scale has no b20-22; fall back to whatever is in scope
         # so the machinery still runs end to end.
         dies = dies_for_scale(scale)
-    for circuit, die_index in dies:
-        prepared = prepare_die(circuit, die_index, seed=seed)
-        _area, tight = prepared.scenarios()
-        atpg = scale.atpg_config(prepared.profile.gates, seed=seed)
-        row: Dict[str, Table5Cell] = {}
-        for key in ("no_overlap", "overlap"):
-            config = method_config("ours", tight, scale)
-            if key == "no_overlap":
-                config = config.without_overlap()
-            run = run_method(prepared, config)
-            report = measure_testability(run, atpg)
-            row[key] = Table5Cell(
-                reused=run.reused_scan_ffs,
-                additional=run.additional_wrapper_cells,
-                stuck_at=(report.stuck_at.coverage,
-                          report.stuck_at.pattern_count),
-                transition=(report.transition.coverage,
-                            report.transition.pattern_count),
-            )
+    rows = parallel_map(
+        _die_cell,
+        [(circuit, die, seed, scale) for circuit, die in dies],
+        jobs=jobs, seed=seed)
+    for (circuit, die_index), row in zip(dies, rows):
         result.cells[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: "

@@ -1,0 +1,62 @@
+"""Deterministic parallel experiment runtime.
+
+Three orthogonal capabilities behind one import:
+
+* :mod:`repro.runtime.parallel` — ordered process-pool map over
+  experiment cells with per-cell seed derivation (serial ≡ parallel),
+* :mod:`repro.runtime.cache` — content-addressed on-disk cache of WCM
+  flow summaries and ATPG results,
+* :mod:`repro.runtime.instrument` — opt-in per-phase timers and
+  counters threaded through the flow, partitioner and ATPG engine.
+
+Configuration (worker count, cache directory) lives in
+:mod:`repro.runtime.config` and is set once per process by the CLI or
+environment variables.
+
+This ``__init__`` deliberately imports only the dependency-light
+modules; :mod:`repro.runtime.cache` imports the flow/ATPG types it
+serializes, which in turn import :mod:`repro.runtime.instrument` —
+importing the cache eagerly here would make that cycle real. Cache
+names are re-exported lazily via module ``__getattr__``.
+"""
+
+from repro.runtime.config import (
+    RuntimeConfig,
+    configure,
+    current_config,
+    resolve_jobs,
+)
+from repro.runtime.instrument import RunReport, collect, count, phase
+from repro.runtime.parallel import cell_seed, parallel_map
+
+_CACHE_EXPORTS = (
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "WcmSummary",
+    "active_cache",
+    "atpg_cache_key",
+    "atpg_result_from_payload",
+    "atpg_result_to_payload",
+    "wcm_cache_key",
+)
+
+__all__ = [
+    "RunReport",
+    "RuntimeConfig",
+    "cell_seed",
+    "collect",
+    "configure",
+    "count",
+    "current_config",
+    "parallel_map",
+    "phase",
+    "resolve_jobs",
+    *_CACHE_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _CACHE_EXPORTS:
+        from repro.runtime import cache
+        return getattr(cache, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

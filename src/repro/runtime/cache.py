@@ -1,0 +1,282 @@
+"""Content-addressed on-disk result cache for experiment cells.
+
+The experiment matrix recomputes identical (die, method, scenario)
+cells across tables: Table III's ``ours/tight`` flow is the same flow
+Table IV runs ATPG on, and a rerun of any driver repeats everything.
+This module caches the two expensive products:
+
+* **WCM flow summaries** (:class:`WcmSummary`) — everything the table
+  drivers read off a :class:`~repro.core.flow.WcmRunResult` *except*
+  the wrapped netlist (plans, counts, verdicts, graph stats),
+* **ATPG results** (:class:`~repro.atpg.engine.AtpgResult`) — coverage
+  and pattern accounting per fault model.
+
+Keys are SHA-256 fingerprints (:mod:`repro.util.fingerprint`) of the
+die profile, the method/scenario spec, every configuration field that
+feeds the computation, the root seed, and :data:`CACHE_SCHEMA_VERSION`.
+Nothing is keyed by wall-clock, hostname or process state, so a cache
+is valid across machines; bump the schema version whenever the
+semantics of any cached field change.
+
+Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``,
+written atomically (temp file + rename) so parallel workers can share
+one cache directory without locking: worst case two workers compute
+the same cell and the second rename wins with identical content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.atpg.engine import AtpgConfig, AtpgResult
+from repro.bench.itc99 import DieProfile
+from repro.core.flow import WcmRunResult
+from repro.core.graph import GraphStats
+from repro.dft.wrapper import WrapperGroup, WrapperPlan
+from repro.netlist.core import PortKind
+from repro.runtime.config import current_config
+from repro.util.fingerprint import fingerprint
+
+#: bump when the serialized payloads or the flow semantics change
+CACHE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Serializable WCM flow summary
+# ---------------------------------------------------------------------------
+@dataclass
+class WcmSummary:
+    """The cacheable slice of one WCM flow run.
+
+    Mirrors the :class:`~repro.core.flow.WcmRunResult` properties the
+    experiment drivers consume; carries the full wrapper plan so area
+    analyses can re-price a cached run without re-running the flow.
+    """
+
+    die_name: str
+    method: str
+    scenario: str
+    reused: int
+    additional: int
+    violation: bool
+    worst_slack_ps: float
+    order: Tuple[str, ...]
+    graph_stats: Dict[str, GraphStats]
+    plan: WrapperPlan
+
+    @property
+    def total_graph_edges(self) -> int:
+        return sum(s.edges for s in self.graph_stats.values())
+
+    @property
+    def overlap_edges(self) -> int:
+        return sum(s.overlap_edges for s in self.graph_stats.values())
+
+    @classmethod
+    def from_run(cls, run: WcmRunResult) -> "WcmSummary":
+        return cls(
+            die_name=run.die_name,
+            method=run.method,
+            scenario=run.scenario,
+            reused=run.reused_scan_ffs,
+            additional=run.additional_wrapper_cells,
+            violation=run.timing_violation,
+            worst_slack_ps=run.worst_slack_ps,
+            order=tuple(kind.value for kind in run.order),
+            graph_stats=dict(run.graph_stats),
+            plan=run.plan,
+        )
+
+    # -- JSON round-trip -------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "die_name": self.die_name,
+            "method": self.method,
+            "scenario": self.scenario,
+            "reused": self.reused,
+            "additional": self.additional,
+            "violation": self.violation,
+            "worst_slack_ps": self.worst_slack_ps,
+            "order": list(self.order),
+            "graph_stats": {kind: vars(stats).copy()
+                            for kind, stats in self.graph_stats.items()},
+            "plan": {
+                "die_name": self.plan.die_name,
+                "groups": [
+                    {"kind": group.kind.value,
+                     "tsvs": list(group.tsvs),
+                     "reused_ff": group.reused_ff}
+                    for group in self.plan.groups
+                ],
+                "excluded_tsvs": list(self.plan.excluded_tsvs),
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "WcmSummary":
+        plan_data = payload["plan"]
+        plan = WrapperPlan(
+            die_name=plan_data["die_name"],
+            groups=[
+                WrapperGroup(kind=PortKind(g["kind"]),
+                             tsvs=list(g["tsvs"]),
+                             reused_ff=g["reused_ff"])
+                for g in plan_data["groups"]
+            ],
+            excluded_tsvs=list(plan_data["excluded_tsvs"]),
+        )
+        return cls(
+            die_name=payload["die_name"],
+            method=payload["method"],
+            scenario=payload["scenario"],
+            reused=payload["reused"],
+            additional=payload["additional"],
+            violation=payload["violation"],
+            worst_slack_ps=payload["worst_slack_ps"],
+            order=tuple(payload["order"]),
+            graph_stats={kind: GraphStats(**stats)
+                         for kind, stats in payload["graph_stats"].items()},
+            plan=plan,
+        )
+
+
+def atpg_result_to_payload(result: AtpgResult) -> Dict[str, Any]:
+    """Serialize an :class:`AtpgResult`; patterns are plain ints (JSON
+    integers are unbounded in Python)."""
+    return {
+        "total_faults": result.total_faults,
+        "detected": result.detected,
+        "proven_untestable": result.proven_untestable,
+        "aborted": result.aborted,
+        "pattern_count": result.pattern_count,
+        "random_patterns": result.random_patterns,
+        "deterministic_patterns": result.deterministic_patterns,
+        "prebond_untestable": result.prebond_untestable,
+        "patterns": list(result.patterns),
+    }
+
+
+def atpg_result_from_payload(payload: Dict[str, Any]) -> AtpgResult:
+    return AtpgResult(
+        total_faults=payload["total_faults"],
+        detected=payload["detected"],
+        proven_untestable=payload["proven_untestable"],
+        aborted=payload["aborted"],
+        pattern_count=payload["pattern_count"],
+        random_patterns=payload["random_patterns"],
+        deterministic_patterns=payload["deterministic_patterns"],
+        prebond_untestable=payload["prebond_untestable"],
+        patterns=list(payload["patterns"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+# ---------------------------------------------------------------------------
+def wcm_cache_key(profile: DieProfile, seed: int, spec: Any,
+                  estimator_budget: int) -> str:
+    """Key of one WCM flow cell.
+
+    *spec* is the driver-level method spec (method, scenario name,
+    variant flags, order override) — deliberately *not* the realized
+    :class:`WcmConfig`, whose tight-scenario clock period would force a
+    full die preparation just to test for a cache hit. The period is a
+    pure function of (profile, seed), which the key already covers.
+    """
+    return fingerprint({
+        "kind": "wcm",
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": profile,
+        "seed": int(seed),
+        "spec": spec,
+        "estimator_budget": int(estimator_budget),
+    })
+
+
+def atpg_cache_key(profile: DieProfile, seed: int, spec: Any,
+                   estimator_budget: int, atpg_config: AtpgConfig,
+                   fault_model: str) -> str:
+    """Key of one ATPG measurement on one WCM cell's wrapped die."""
+    return fingerprint({
+        "kind": "atpg",
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": profile,
+        "seed": int(seed),
+        "spec": spec,
+        "estimator_budget": int(estimator_budget),
+        "atpg": atpg_config,
+        "fault_model": fault_model,
+    })
+
+
+# ---------------------------------------------------------------------------
+# The cache itself
+# ---------------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """One cache directory of JSON entries, addressed by key."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+#: one ResultCache per root, so hit/miss stats accumulate per process
+_CACHES: Dict[str, ResultCache] = {}
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The process's cache per the runtime config, or ``None``."""
+    config = current_config()
+    if config.no_cache or not config.cache_dir:
+        return None
+    cache = _CACHES.get(config.cache_dir)
+    if cache is None:
+        cache = _CACHES[config.cache_dir] = ResultCache(config.cache_dir)
+    return cache

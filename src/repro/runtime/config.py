@@ -1,0 +1,93 @@
+"""Process-wide runtime configuration: worker count and cache location.
+
+One small mutable singleton, set once per process (from CLI flags, the
+benchmark harness, or environment variables) and read by the parallel
+map and the result cache:
+
+* ``jobs`` — worker processes for :func:`repro.runtime.parallel.parallel_map`
+  (``1`` = serial, the default; ``0``/``None`` = one per CPU),
+* ``cache_dir`` — root of the on-disk result cache (``None`` disables),
+* ``no_cache`` — hard override disabling the cache even when a
+  directory is configured.
+
+Environment fallbacks (read when :func:`configure` is not given an
+explicit value): ``REPRO_JOBS``, ``REPRO_CACHE_DIR``, and
+``REPRO_NO_CACHE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class RuntimeConfig:
+    """Mutable per-process runtime settings."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+
+
+_CONFIG = RuntimeConfig()
+
+
+def _env_jobs() -> Optional[int]:
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}"
+                          ) from None
+
+
+def configure(jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None,
+              no_cache: Optional[bool] = None) -> RuntimeConfig:
+    """Update the per-process runtime config; omitted arguments fall
+    back to the environment, then to the current values."""
+    if jobs is None:
+        jobs = _env_jobs()
+    if jobs is not None:
+        if jobs < 0:
+            raise ConfigError(f"jobs must be >= 0, got {jobs}")
+        _CONFIG.jobs = jobs or (os.cpu_count() or 1)
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir is not None:
+        _CONFIG.cache_dir = cache_dir
+    if no_cache is None and os.environ.get("REPRO_NO_CACHE") == "1":
+        no_cache = True
+    if no_cache is not None:
+        _CONFIG.no_cache = no_cache
+    return _CONFIG
+
+
+def current_config() -> RuntimeConfig:
+    return _CONFIG
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit argument > configured value."""
+    if jobs is None:
+        return max(1, _CONFIG.jobs)
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs or (os.cpu_count() or 1)
+
+
+def apply_config(config: RuntimeConfig) -> None:
+    """Adopt *config* wholesale (used by worker-process initializers).
+
+    Workers always run serially (``jobs=1``) — nested pools would
+    oversubscribe the machine without changing any result.
+    """
+    _CONFIG.jobs = 1
+    _CONFIG.cache_dir = config.cache_dir
+    _CONFIG.no_cache = config.no_cache

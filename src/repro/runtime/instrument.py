@@ -1,0 +1,123 @@
+"""Lightweight per-phase instrumentation: timers and counters.
+
+The flow, the clique partitioner and the ATPG engine report *where the
+time goes* (wall-clock per phase) and *how hard they worked* (random
+blocks simulated, PODEM attempts and backtracks, clique merges and
+rejections, ECO repair rounds) into a structured :class:`RunReport`.
+
+Collection is opt-in and stack-scoped::
+
+    with instrument.collect() as report:
+        run_wcm_flow(problem, config)
+    print(report.render())
+
+When no collector is active (the common case — experiment sweeps,
+tests), :func:`phase` and :func:`count` are no-ops costing one list
+check, so instrumented hot paths pay nothing in production runs.
+Reports merge (:meth:`RunReport.merge`), so per-cell reports from
+parallel workers can be folded into one run-level view.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.util.tables import AsciiTable
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-clock of one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one instrumented run."""
+
+    phases: Dict[str, PhaseStat] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        stat = self.phases.setdefault(name, PhaseStat())
+        stat.calls += 1
+        stat.seconds += seconds
+
+    def add_count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge(self, other: "RunReport") -> None:
+        for name, stat in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseStat())
+            mine.calls += stat.calls
+            mine.seconds += stat.seconds
+        for name, amount in other.counters.items():
+            self.add_count(name, amount)
+
+    # ------------------------------------------------------------------
+    def render(self, title: str = "run profile") -> str:
+        total = sum(stat.seconds for stat in self.phases.values())
+        table = AsciiTable(["phase", "calls", "seconds", "share"],
+                           title=title)
+        for name in sorted(self.phases):
+            stat = self.phases[name]
+            share = 100.0 * stat.seconds / total if total else 0.0
+            table.add_row([name, stat.calls, f"{stat.seconds:.3f}",
+                           f"{share:5.1f}%"])
+        lines = [table.render()]
+        if self.counters:
+            counter_table = AsciiTable(["counter", "value"])
+            for name in sorted(self.counters):
+                counter_table.add_row([name, self.counters[name]])
+            lines.append(counter_table.render())
+        return "\n".join(lines)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "phases": {name: {"calls": s.calls, "seconds": s.seconds}
+                       for name, s in self.phases.items()},
+            "counters": dict(self.counters),
+        }
+
+
+#: stack of active collectors (innermost last); per process
+_ACTIVE: List[RunReport] = []
+
+
+@contextmanager
+def collect(report: Optional[RunReport] = None) -> Iterator[RunReport]:
+    """Activate a collector for the dynamic extent of the block."""
+    report = report if report is not None else RunReport()
+    _ACTIVE.append(report)
+    try:
+        yield report
+    finally:
+        _ACTIVE.pop()
+
+
+def active_report() -> Optional[RunReport]:
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time the block under *name* (no-op without a collector)."""
+    if not _ACTIVE:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        _ACTIVE[-1].add_phase(name, time.perf_counter() - started)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump counter *name* (no-op without a collector)."""
+    if _ACTIVE:
+        _ACTIVE[-1].add_count(name, amount)

@@ -1,0 +1,54 @@
+"""Stable content fingerprints for cache keys.
+
+The runtime's result cache (:mod:`repro.runtime.cache`) is content-
+addressed: a cache key is the SHA-256 of a *canonical* JSON rendering
+of everything that determines the computation (die profile, method
+configuration, seeds, schema version). Canonicalization must be stable
+across processes, Python versions and ``PYTHONHASHSEED`` values, so:
+
+* dicts are serialized with sorted keys,
+* dataclasses carry their class name (two configs with identical
+  fields but different types never collide),
+* sets/frozensets are sorted,
+* floats go through :func:`repr` (which round-trips, and renders
+  non-finite values ``json`` would reject),
+* enums serialize as ``ClassName.value``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce *obj* to JSON-serializable primitives, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles and handles inf/-inf/nan uniformly.
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.value}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonicalize(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value)
+                for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(item) for item in obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical rendering of *obj*."""
+    canonical = json.dumps(canonicalize(obj), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

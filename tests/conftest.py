@@ -2,6 +2,19 @@
 
 import pytest
 
+from repro.runtime.config import current_config
+
+
+@pytest.fixture(autouse=True)
+def _isolate_runtime_config():
+    """Restore the process-wide runtime config after every test, so a
+    test that configures jobs/cache (directly or through the CLI) can't
+    leak into its neighbours."""
+    config = current_config()
+    saved = (config.jobs, config.cache_dir, config.no_cache)
+    yield
+    config.jobs, config.cache_dir, config.no_cache = saved
+
 from repro.bench.generator import generate_die
 from repro.bench.itc99 import die_profile
 from repro.core.config import Scenario, WcmConfig

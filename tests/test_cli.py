@@ -27,6 +27,38 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--scale", "galactic", "table2"])
 
+    def test_profile_command(self, capsys):
+        assert main(["profile", "b11", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "profiling b11_die0" in out
+        assert "flow.graph" in out
+        assert "clique.merges" in out
+        assert "agrawal/tight" in out and "ours/tight" in out
+
+    def test_runtime_flags_configure(self, capsys):
+        from repro.runtime import current_config
+        assert main(["--jobs", "2", "--scale", "smoke", "table2"]) == 0
+        assert current_config().jobs == 2
+        # flags are also accepted after the subcommand
+        assert main(["table2", "--scale", "smoke", "--jobs", "3"]) == 0
+        assert current_config().jobs == 3
+
+    def test_cache_flags(self, tmp_path, capsys):
+        from repro.runtime import current_config
+        assert main(["--cache-dir", str(tmp_path), "--scale", "smoke",
+                     "figure7"]) == 0
+        config = current_config()
+        assert config.cache_dir == str(tmp_path)
+        assert not config.no_cache
+        assert main(["--no-cache", "--scale", "smoke", "table2"]) == 0
+        assert current_config().no_cache
+
+    def test_tables_alias(self, capsys, monkeypatch):
+        import repro.cli as cli
+        monkeypatch.setattr(cli, "_EXPORT_ORDER", ("table2",))
+        assert main(["--scale", "smoke", "tables"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
     def test_export(self, tmp_path, capsys, monkeypatch):
         # export the two cheap artifacts only (the full set is the
         # benchmark harness's job)

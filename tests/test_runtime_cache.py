@@ -1,0 +1,161 @@
+"""Tests for the content-addressed result cache and fingerprinting."""
+
+import json
+
+import pytest
+
+import repro.runtime.cache as cache_mod
+from repro.atpg.engine import AtpgResult
+from repro.bench.itc99 import die_profile
+from repro.experiments.common import SCALES, MethodSpec, run_cell
+from repro.runtime.cache import (
+    ResultCache,
+    WcmSummary,
+    atpg_cache_key,
+    atpg_result_from_payload,
+    atpg_result_to_payload,
+    wcm_cache_key,
+)
+from repro.runtime.config import configure
+from repro.util.fingerprint import canonicalize, fingerprint
+
+SMOKE = SCALES["smoke"]
+SPEC = MethodSpec("ours", "tight")
+
+
+@pytest.fixture
+def cache(tmp_path, monkeypatch):
+    """A fresh cache directory activated in the runtime config."""
+    monkeypatch.setattr(cache_mod, "_CACHES", {})
+    configure(cache_dir=str(tmp_path), no_cache=False)
+    return cache_mod.active_cache()
+
+
+class TestFingerprint:
+    def test_stable_and_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_dataclasses_and_sets(self):
+        profile = die_profile("b11", 0)
+        assert fingerprint(profile) == fingerprint(profile)
+        assert fingerprint({3, 1, 2}) == fingerprint({1, 2, 3})
+
+    def test_float_precision_matters(self):
+        assert fingerprint(0.1) != fingerprint(0.1 + 1e-12)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+
+class TestKeys:
+    def test_spec_changes_key(self):
+        profile = die_profile("b11", 0)
+        base = wcm_cache_key(profile, 2019, SPEC, 1500)
+        assert base == wcm_cache_key(profile, 2019, SPEC, 1500)
+        assert base != wcm_cache_key(profile, 2019,
+                                     MethodSpec("agrawal", "tight"), 1500)
+        assert base != wcm_cache_key(profile, 2019,
+                                     MethodSpec("ours", "area"), 1500)
+        assert base != wcm_cache_key(profile, 2020, SPEC, 1500)
+        assert base != wcm_cache_key(profile, 2019, SPEC, 4000)
+        assert base != wcm_cache_key(die_profile("b11", 1), 2019, SPEC, 1500)
+
+    def test_schema_version_invalidates(self, monkeypatch):
+        profile = die_profile("b11", 0)
+        before = wcm_cache_key(profile, 2019, SPEC, 1500)
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999)
+        assert wcm_cache_key(profile, 2019, SPEC, 1500) != before
+
+    def test_atpg_key_separates_fault_models(self):
+        profile = die_profile("b11", 0)
+        config = SMOKE.atpg_config(profile.gates, seed=2019)
+        stuck = atpg_cache_key(profile, 2019, SPEC, 1500, config, "stuck_at")
+        trans = atpg_cache_key(profile, 2019, SPEC, 1500, config,
+                               "transition")
+        assert stuck != trans
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.get("ab" + "0" * 62) == {"x": 1}
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.stores) == (1, 1, 1)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestPayloadRoundTrips:
+    def test_wcm_summary(self, cache):
+        summary, _ = run_cell("b11", 0, 2019, SMOKE, SPEC)
+        # through JSON text, as the disk does
+        payload = json.loads(json.dumps(summary.to_payload()))
+        restored = WcmSummary.from_payload(payload)
+        assert restored == summary
+        assert restored.total_graph_edges == summary.total_graph_edges
+        assert restored.overlap_edges == summary.overlap_edges
+
+    def test_atpg_result(self):
+        result = AtpgResult(
+            total_faults=100, detected=90, proven_untestable=4,
+            aborted=6, pattern_count=12, random_patterns=8,
+            deterministic_patterns=4, prebond_untestable=2,
+            patterns=[0, 1, (1 << 80) + 5])
+        payload = json.loads(json.dumps(atpg_result_to_payload(result)))
+        assert atpg_result_from_payload(payload) == result
+
+
+class TestRunCellCaching:
+    def test_cold_then_warm(self, cache, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "_RUNS", {})
+        summary, report = run_cell("b11", 0, 2019, SMOKE, SPEC,
+                                   with_atpg=True)
+        assert cache.stats.stores == 3  # WCM + stuck-at + transition
+        stores_after_cold = cache.stats.stores
+
+        # Warm: the flow and ATPG must not run at all.
+        monkeypatch.setattr(common, "_RUNS", {})
+        monkeypatch.setattr(common, "run_method", _explode)
+        monkeypatch.setattr(common, "measure_testability", _explode)
+        warm_summary, warm_report = run_cell("b11", 0, 2019, SMOKE, SPEC,
+                                             with_atpg=True)
+        assert cache.stats.stores == stores_after_cold
+        assert warm_summary == summary
+        assert warm_report.stuck_at == report.stuck_at
+        assert warm_report.transition == report.transition
+
+    def test_spec_change_misses(self, cache, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "_RUNS", {})
+        run_cell("b11", 0, 2019, SMOKE, SPEC)
+        stores = cache.stats.stores
+        run_cell("b11", 0, 2019, SMOKE, MethodSpec("agrawal", "tight"))
+        assert cache.stats.stores == stores + 1
+
+    def test_no_cache_override(self, cache):
+        configure(no_cache=True)
+        assert cache_mod.active_cache() is None
+
+    def test_disabled_without_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        from repro.runtime.config import current_config
+        current_config().cache_dir = None
+        assert cache_mod.active_cache() is None
+
+
+def _explode(*_args, **_kwargs):
+    raise AssertionError("recomputed despite a warm cache")

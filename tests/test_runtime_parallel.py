@@ -1,0 +1,100 @@
+"""Tests for the deterministic parallel map and the instrumentation."""
+
+import random
+from dataclasses import replace
+
+from repro.core.config import Scenario, WcmConfig
+from repro.core.flow import run_wcm_flow
+from repro.experiments import run_table3
+from repro.experiments.common import SCALES
+from repro.runtime import instrument
+from repro.runtime.parallel import cell_seed, parallel_map
+
+B11_ONLY = replace(SCALES["smoke"], circuits=("b11",))
+
+
+def _square(value):
+    return value * value
+
+
+def _draw(_cell):
+    return random.random()
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        cells = list(range(12))
+        assert parallel_map(_square, cells, jobs=1) == \
+            parallel_map(_square, cells, jobs=3) == \
+            [v * v for v in cells]
+
+    def test_per_cell_seeding_matches_serial(self):
+        serial = parallel_map(_draw, range(6), jobs=1, seed=7)
+        parallel = parallel_map(_draw, range(6), jobs=2, seed=7)
+        assert serial == parallel
+        # distinct deterministic stream per cell, and per root seed
+        assert len(set(serial)) == len(serial)
+        assert parallel_map(_draw, range(6), jobs=1, seed=8) != serial
+
+    def test_cell_seed_is_stable(self):
+        assert cell_seed(2019, 3) == cell_seed(2019, 3)
+        assert cell_seed(2019, 3) != cell_seed(2019, 4)
+        assert cell_seed(2019, 3) != cell_seed(2020, 3)
+
+    def test_single_cell_stays_serial(self):
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+
+class TestParallelDrivers:
+    def test_table3_parallel_equals_serial(self, monkeypatch):
+        import repro.experiments.common as common
+
+        # Empty the in-process memo first, so forked workers recompute
+        # from scratch instead of inheriting earlier tests' results.
+        monkeypatch.setattr(common, "_RUNS", {})
+        parallel = run_table3(B11_ONLY, jobs=2).render()
+        serial = run_table3(B11_ONLY, jobs=1).render()
+        assert parallel == serial
+
+
+class TestInstrumentation:
+    def test_noop_without_collector(self):
+        with instrument.phase("test.phase"):
+            pass
+        instrument.count("test.counter", 3)
+        assert instrument.active_report() is None
+
+    def test_collects_flow_phases_and_counters(self, small_problem):
+        with instrument.collect() as report:
+            run_wcm_flow(small_problem,
+                         WcmConfig.ours(Scenario.area_optimized()))
+        assert report.phases["flow.graph"].calls == 2  # both TSV kinds
+        assert report.phases["flow.partition"].calls == 2
+        assert "flow.adoption" in report.phases
+        assert report.counters.get("clique.merges", 0) >= 0
+        assert "flow.eco_rounds" in report.counters
+        rendered = report.render("unit test")
+        assert "flow.graph" in rendered and "unit test" in rendered
+
+    def test_merge_and_payload(self):
+        first = instrument.RunReport()
+        first.add_phase("a", 1.0)
+        first.add_count("n", 2)
+        second = instrument.RunReport()
+        second.add_phase("a", 0.5)
+        second.add_count("n", 1)
+        first.merge(second)
+        assert first.phases["a"].calls == 2
+        assert abs(first.phases["a"].seconds - 1.5) < 1e-9
+        assert first.counters["n"] == 3
+        payload = first.to_payload()
+        assert payload["counters"]["n"] == 3
+
+    def test_nested_collectors_are_scoped(self):
+        with instrument.collect() as outer:
+            instrument.count("outer.only")
+            with instrument.collect() as inner:
+                instrument.count("inner.only")
+        assert "inner.only" in inner.counters
+        assert "inner.only" not in outer.counters
+        assert "outer.only" in outer.counters
