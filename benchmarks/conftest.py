@@ -15,6 +15,7 @@ persistent result cache, so a repeated sweep replays from disk. Both
 are byte-transparent: the regenerated tables are identical either way.
 """
 
+import json
 import os
 
 import pytest
@@ -38,6 +39,37 @@ def scale():
           f"set REPRO_SCALE=default|full for larger sweeps, "
           f"REPRO_JOBS/REPRO_CACHE_DIR to parallelize or cache]")
     return chosen
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Export per-kernel timings to ``BENCH_kernels.json``.
+
+    Only the ``test_bench_kernels.py`` micro-benchmarks are exported —
+    they are the regression-tracked hot loops; the table sweeps carry
+    their own outputs. The file lands next to this conftest so repeated
+    runs are easy to diff.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    kernels = {}
+    for bench in bench_session.benchmarks:
+        if "test_bench_kernels" not in (bench.fullname or ""):
+            continue
+        stats = bench.stats
+        kernels[bench.name] = {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
+            "rounds": stats.rounds,
+        }
+    if not kernels:
+        return
+    path = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
+    with open(path, "w") as handle:
+        json.dump(kernels, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[kernel timings exported to {path}]")
 
 
 @pytest.fixture

@@ -15,7 +15,7 @@ from repro.bench.itc99 import die_profile
 from repro.core.clique import partition_cliques
 from repro.core.config import Scenario, WcmConfig
 from repro.core.graph import build_wcm_graph
-from repro.core.problem import build_problem
+from repro.core.problem import build_problem, tight_clock_for
 from repro.core.timing_model import ReuseTimingModel
 from repro.dft.scan import stitch_scan_chains
 from repro.dft.testview import build_prebond_test_view
@@ -75,6 +75,42 @@ def test_bench_stuck_at_atpg(benchmark, kernel_die):
     result = benchmark.pedantic(run_stuck_at_atpg, args=(view, config),
                                 rounds=1, iterations=1)
     assert result.coverage > 0.9
+
+
+def test_bench_event_propagation(benchmark, kernel_die):
+    """Event-driven stem propagation over every gate output net."""
+    wrapped, _ = insert_wrappers(kernel_die, dedicated_plan(kernel_die))
+    stitch_scan_chains(wrapped, restitch=True)
+    circuit = CompiledCircuit(build_prebond_test_view(wrapped))
+    rng = DeterministicRng(5)
+    mask = (1 << 192) - 1
+    words = [rng.getrandbits(192) for _ in range(circuit.input_count)]
+    good = circuit.simulate(words, mask)
+    stems = [gate.out for gate in circuit.gates]
+
+    def run():
+        detect = 0
+        for nid in stems:
+            detect |= circuit.propagate_stem(good, nid, 0, mask)
+            detect |= circuit.propagate_stem(good, nid, 1, mask)
+        return detect
+
+    detect = benchmark(run)
+    assert detect != 0
+
+
+def test_bench_graph_timed(benchmark, kernel_problem):
+    """Grid-indexed edge sweep under the tight clock (distance active)."""
+    clock = tight_clock_for(kernel_problem)
+    problem = kernel_problem.retime(clock)
+    config = WcmConfig.ours(Scenario.performance_optimized(clock.period_ps))
+
+    def run():
+        return build_wcm_graph(problem, PortKind.TSV_INBOUND,
+                               problem.scan_ffs, config)
+
+    graph = benchmark(run)
+    assert graph.stats.nodes > 0
 
 
 def test_bench_graph_and_clique(benchmark, kernel_problem):

@@ -167,6 +167,10 @@ class AtpgEngine:
 
         kept_patterns: List[int] = []
         random_kept = 0
+        # One preallocated values buffer serves every block of the run:
+        # each phase finishes with a block's good-machine values before
+        # simulating the next, so reuse is byte-identical to fresh lists.
+        good_buffer = circuit.make_buffer()
 
         # ---- phase 1: random blocks with dropping ----------------------
         with instrument.phase("atpg.random"):
@@ -178,7 +182,7 @@ class AtpgEngine:
                 instrument.count("atpg.random_blocks")
                 input_words = [self.rng.getrandbits(config.block_width)
                                for _ in range(columns)]
-                good = circuit.simulate(input_words, mask)
+                good = circuit.simulate(input_words, mask, out=good_buffer)
                 first_detector: Dict[int, int] = {}  # pattern k -> #faults
                 for fault_index in active:
                     det = self.dispatcher.detect_word(circuit, good,
@@ -214,7 +218,7 @@ class AtpgEngine:
                 return
             words = _patterns_to_words(batch, columns)
             batch_mask = (1 << len(batch)) - 1
-            good = circuit.simulate(words, batch_mask)
+            good = circuit.simulate(words, batch_mask, out=good_buffer)
             useful = set()
             for fault_index in [i for i, s in enumerate(status)
                                 if s == _ACTIVE]:
@@ -298,11 +302,12 @@ class AtpgEngine:
         keep: List[int] = []
         reverse = list(reversed(patterns))
         width = config.block_width
+        good_buffer = circuit.make_buffer()
         for start in range(0, len(reverse), width):
             chunk = reverse[start:start + width]
             words = _patterns_to_words(chunk, circuit.input_count)
             chunk_mask = (1 << len(chunk)) - 1
-            good = circuit.simulate(words, chunk_mask)
+            good = circuit.simulate(words, chunk_mask, out=good_buffer)
             useful = set()
             for fault_index in [i for i, s in enumerate(status)
                                 if s == _ACTIVE]:

@@ -124,6 +124,11 @@ class PodemGenerator:
         self.backtrack_limit = backtrack_limit
         self._control: Set[int] = set(circuit.input_columns)
         self._slice_cache: Dict[Tuple[str, str, str], Tuple[List[int], bool]] = {}
+        #: flat (op_name, out, ins) per gate — the 3-valued implication
+        #: loop reads these instead of walking the gate dataclass
+        self._specs: List[Tuple[str, int, Tuple[int, ...]]] = [
+            (g.op_name, g.out, g.ins) for g in circuit.gates
+        ]
         self._cc0, self._cc1 = self._scoap()
 
     # ------------------------------------------------------------------
@@ -423,22 +428,21 @@ class PodemGenerator:
             get(gv, site_net)
             fv[site_net] = stuck
 
+        specs = self._specs
         for gi in slice_gates:
-            gate = circuit.gates[gi]
-            g_ins = [get(gv, nid) for nid in gate.ins]
-            out_g = _eval3(gate.op_name, g_ins)
-            gv[gate.out] = out_g
+            op_name, out, ins = specs[gi]
+            g_ins = [get(gv, nid) for nid in ins]
+            gv[out] = _eval3(op_name, g_ins)
 
             if branch_gate is not None and gi == branch_gate:
-                f_ins = [get(fv, nid) for nid in gate.ins]
+                f_ins = [get(fv, nid) for nid in ins]
                 f_ins[branch_pos] = stuck
-                fv[gate.out] = _eval3(gate.op_name, f_ins)
+                fv[out] = _eval3(op_name, f_ins)
             else:
-                f_ins = [get(fv, nid) for nid in gate.ins]
-                out_f = _eval3(gate.op_name, f_ins)
-                fv[gate.out] = out_f
+                f_ins = [get(fv, nid) for nid in ins]
+                fv[out] = _eval3(op_name, f_ins)
             if site_net is not None and branch_gate is None \
-                    and gate.out == site_net:
+                    and out == site_net:
                 fv[site_net] = stuck
 
         return gv, fv
@@ -461,7 +465,6 @@ class PodemGenerator:
                    branch_gate: Optional[int] = None,
                    branch_pos: Optional[int] = None
                    ) -> Optional[Tuple[int, int]]:
-        circuit = self.circuit
         site_g = gv.get(site_net, X)
         if site_g == X:
             return (site_net, 1 - stuck)  # activate
@@ -470,9 +473,10 @@ class PodemGenerator:
         # resolved in at least one machine (composite value unknown).
         # For a branch fault the D̄ sits on the faulted *pin* of the
         # branch gate, which net-level values cannot show.
+        specs = self._specs
         for gi in slice_gates:
-            gate = circuit.gates[gi]
-            if gv.get(gate.out, X) != X and fv.get(gate.out, X) != X:
+            op_name, out, ins = specs[gi]
+            if gv.get(out, X) != X and fv.get(out, X) != X:
                 continue
             if branch_gate is not None and gi == branch_gate:
                 has_d = site_g != X and site_g != stuck
@@ -480,15 +484,15 @@ class PodemGenerator:
                 has_d = any(
                     gv.get(nid, X) != X and fv.get(nid, X) != X
                     and gv.get(nid) != fv.get(nid)
-                    for nid in gate.ins
+                    for nid in ins
                 )
             if not has_d:
                 continue
-            for pos, nid in enumerate(gate.ins):
+            for pos, nid in enumerate(ins):
                 if branch_gate is not None and gi == branch_gate                         and pos == branch_pos:
                     continue  # the faulted pin is not a side input
                 if gv.get(nid, X) == X:
-                    return (nid, _NONCONTROLLING[gate.op_name])
+                    return (nid, _NONCONTROLLING[op_name])
         return None
 
     def _backtrace(self, net_id: int, value: int,

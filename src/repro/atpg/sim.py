@@ -7,6 +7,15 @@ observation nets. Simulation packs many patterns into one Python
 big-int per net, so a single ``&``/``|``/``^`` evaluates the gate for
 the whole block in C.
 
+The gate list is additionally lowered to a flat **op-tape**: one tuple
+``(opcode, out, in0[, in1[, in2]])`` per gate in post (topological)
+order, with a dedicated opcode per (function, arity) pair for all
+1/2/3-input cells of the library. The block simulator and the
+event-driven propagator interpret the tape with inlined big-int
+expressions — no per-gate ``op()`` callable, no per-gate input-list
+allocation. Unusual arities fall back to the generic
+:data:`~repro.netlist.library.LOGIC_FUNCTIONS` callable.
+
 Faulty-machine propagation is event-driven and cone-limited: only the
 fan-out cone of the fault site is re-evaluated, in topological order,
 against the cached good-machine values — the standard PPSFP scheme.
@@ -20,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dft.testview import TestView
 from repro.netlist.library import LOGIC_FUNCTIONS
+from repro.runtime import instrument
 from repro.util.errors import AtpgError
 
 
@@ -33,6 +43,48 @@ class _Gate:
     op_name: str
     out: int  # net id
     ins: Tuple[int, ...]  # net ids in cell pin order
+
+
+# Op-tape opcodes, one per (function, arity) the library can produce.
+_OP_BUF = 0
+_OP_INV = 1
+_OP_AND2 = 2
+_OP_OR2 = 3
+_OP_XOR2 = 4
+_OP_NAND2 = 5
+_OP_NOR2 = 6
+_OP_XNOR2 = 7
+_OP_MUX2 = 8
+_OP_AOI21 = 9
+_OP_OAI21 = 10
+_OP_AND3 = 11
+_OP_OR3 = 12
+_OP_NAND3 = 13
+_OP_NOR3 = 14
+_OP_XOR3 = 15
+_OP_XNOR3 = 16
+_OP_GENERIC = 17
+
+#: (function name, arity) -> opcode. Anything absent goes generic.
+_OPCODES: Dict[Tuple[str, int], int] = {
+    ("buf", 1): _OP_BUF,
+    ("inv", 1): _OP_INV,
+    ("and", 2): _OP_AND2,
+    ("or", 2): _OP_OR2,
+    ("xor", 2): _OP_XOR2,
+    ("nand", 2): _OP_NAND2,
+    ("nor", 2): _OP_NOR2,
+    ("xnor", 2): _OP_XNOR2,
+    ("mux2", 3): _OP_MUX2,
+    ("aoi21", 3): _OP_AOI21,
+    ("oai21", 3): _OP_OAI21,
+    ("and", 3): _OP_AND3,
+    ("or", 3): _OP_OR3,
+    ("nand", 3): _OP_NAND3,
+    ("nor", 3): _OP_NOR3,
+    ("xor", 3): _OP_XOR3,
+    ("xnor", 3): _OP_XNOR3,
+}
 
 
 class CompiledCircuit:
@@ -57,6 +109,9 @@ class CompiledCircuit:
             if nid not in seen:
                 seen.add(nid)
                 self.input_columns.append(nid)
+        self.column_of: Dict[int, int] = {
+            nid: column for column, nid in enumerate(self.input_columns)
+        }
         self.constant_nets: Dict[int, int] = {
             self.net_ids[net]: value for net, value in view.constant_nets.items()
         }
@@ -103,6 +158,16 @@ class CompiledCircuit:
             g.name: g.index for g in self.gates
         }
 
+        # The op-tape: tape[i] evaluates gates[i]. Generic entries carry
+        # the op callable so the interpreter never touches the dataclass.
+        self.tape: List[Tuple] = []
+        for gate in self.gates:
+            code = _OPCODES.get((gate.op_name, len(gate.ins)), _OP_GENERIC)
+            if code == _OP_GENERIC:
+                self.tape.append((code, gate.out, gate.op, gate.ins))
+            else:
+                self.tape.append((code, gate.out) + gate.ins)
+
         # Per-net gate users (for event-driven propagation).
         self.gate_users: List[List[int]] = [[] for _ in range(n_nets)]
         for gate in self.gates:
@@ -121,17 +186,104 @@ class CompiledCircuit:
         nid = self.net_ids.get(net_name)
         if nid is None:
             return None
-        try:
-            return self.input_columns.index(nid)
-        except ValueError:
-            return None
+        return self.column_of.get(nid)
+
+    def make_buffer(self) -> List[int]:
+        """A reusable value buffer for :meth:`simulate`'s ``out=``.
+
+        Entries the simulator never writes (X-ties, floating nets) are
+        zero and stay zero across reuses, so handing the same buffer to
+        consecutive blocks is byte-identical to fresh allocation — as
+        long as the caller has finished with the previous block.
+        """
+        return [0] * self.n_nets
 
     # ------------------------------------------------------------------
-    def simulate(self, input_words: Sequence[int], mask: int) -> List[int]:
+    def simulate(self, input_words: Sequence[int], mask: int,
+                 out: Optional[List[int]] = None) -> List[int]:
         """Good-machine simulation of one pattern block.
 
         *input_words* has one packed word per input column; bit *k* of
-        a word is the value of that input in pattern *k*.
+        a word is the value of that input in pattern *k*. Passing a
+        buffer from :meth:`make_buffer` as *out* reuses it instead of
+        allocating a fresh values list (the previous block's contents
+        are overwritten).
+        """
+        if len(input_words) != len(self.input_columns):
+            raise AtpgError(
+                f"expected {len(self.input_columns)} input words, "
+                f"got {len(input_words)}"
+            )
+        if out is None:
+            values = [0] * self.n_nets
+        else:
+            values = out
+        for nid, word in zip(self.input_columns, input_words):
+            values[nid] = word & mask
+        for nid, constant in self.constant_nets.items():
+            values[nid] = mask if constant else 0
+        # X-source nets stay tied to 0.
+        for entry in self.tape:
+            code = entry[0]
+            if code == _OP_AND2:
+                values[entry[1]] = values[entry[2]] & values[entry[3]]
+            elif code == _OP_NAND2:
+                values[entry[1]] = \
+                    ~(values[entry[2]] & values[entry[3]]) & mask
+            elif code == _OP_OR2:
+                values[entry[1]] = values[entry[2]] | values[entry[3]]
+            elif code == _OP_NOR2:
+                values[entry[1]] = \
+                    ~(values[entry[2]] | values[entry[3]]) & mask
+            elif code == _OP_XOR2:
+                values[entry[1]] = values[entry[2]] ^ values[entry[3]]
+            elif code == _OP_XNOR2:
+                values[entry[1]] = \
+                    ~(values[entry[2]] ^ values[entry[3]]) & mask
+            elif code == _OP_INV:
+                values[entry[1]] = ~values[entry[2]] & mask
+            elif code == _OP_BUF:
+                values[entry[1]] = values[entry[2]]
+            elif code == _OP_MUX2:
+                s = values[entry[4]]
+                values[entry[1]] = \
+                    (values[entry[2]] & ~s) | (values[entry[3]] & s)
+            elif code == _OP_AOI21:
+                values[entry[1]] = ~((values[entry[2]] & values[entry[3]])
+                                     | values[entry[4]]) & mask
+            elif code == _OP_OAI21:
+                values[entry[1]] = ~((values[entry[2]] | values[entry[3]])
+                                     & values[entry[4]]) & mask
+            elif code == _OP_AND3:
+                values[entry[1]] = (values[entry[2]] & values[entry[3]]
+                                    & values[entry[4]])
+            elif code == _OP_OR3:
+                values[entry[1]] = (values[entry[2]] | values[entry[3]]
+                                    | values[entry[4]])
+            elif code == _OP_NAND3:
+                values[entry[1]] = ~(values[entry[2]] & values[entry[3]]
+                                     & values[entry[4]]) & mask
+            elif code == _OP_NOR3:
+                values[entry[1]] = ~(values[entry[2]] | values[entry[3]]
+                                     | values[entry[4]]) & mask
+            elif code == _OP_XOR3:
+                values[entry[1]] = (values[entry[2]] ^ values[entry[3]]
+                                    ^ values[entry[4]])
+            elif code == _OP_XNOR3:
+                values[entry[1]] = ~(values[entry[2]] ^ values[entry[3]]
+                                     ^ values[entry[4]]) & mask
+            else:
+                values[entry[1]] = entry[2](
+                    [values[i] for i in entry[3]], mask)
+        instrument.count("sim.tape_blocks")
+        return values
+
+    def simulate_reference(self, input_words: Sequence[int], mask: int
+                           ) -> List[int]:
+        """Per-gate ``op()`` interpreter — the pre-tape reference.
+
+        Kept for the kernel-equivalence property tests; the tape
+        interpreter in :meth:`simulate` must match it bit for bit.
         """
         if len(input_words) != len(self.input_columns):
             raise AtpgError(
@@ -143,7 +295,6 @@ class CompiledCircuit:
             values[nid] = word & mask
         for nid, constant in self.constant_nets.items():
             values[nid] = mask if constant else 0
-        # X-source nets stay tied to 0.
         for gate in self.gates:
             values[gate.out] = gate.op([values[i] for i in gate.ins], mask)
         return values
@@ -207,25 +358,106 @@ class CompiledCircuit:
                     queued.add(gi)
                     heapq.heappush(heap, gi)
 
-        gates = self.gates
+        tape = self.tape
         users = self.gate_users
+        changed_get = changed.get
+        events = 0
         while heap:
             gi = heapq.heappop(heap)
-            gate = gates[gi]
-            ins = [changed.get(i, good[i]) for i in gate.ins]
-            out_word = gate.op(ins, mask)
-            current = changed.get(gate.out, good[gate.out])
+            entry = tape[gi]
+            events += 1
+            code = entry[0]
+            out = entry[1]
+            if code == _OP_AND2:
+                a = entry[2]
+                b = entry[3]
+                out_word = (changed_get(a, good[a])
+                            & changed_get(b, good[b]))
+            elif code == _OP_NAND2:
+                a = entry[2]
+                b = entry[3]
+                out_word = ~(changed_get(a, good[a])
+                             & changed_get(b, good[b])) & mask
+            elif code == _OP_OR2:
+                a = entry[2]
+                b = entry[3]
+                out_word = (changed_get(a, good[a])
+                            | changed_get(b, good[b]))
+            elif code == _OP_NOR2:
+                a = entry[2]
+                b = entry[3]
+                out_word = ~(changed_get(a, good[a])
+                             | changed_get(b, good[b])) & mask
+            elif code == _OP_XOR2:
+                a = entry[2]
+                b = entry[3]
+                out_word = (changed_get(a, good[a])
+                            ^ changed_get(b, good[b]))
+            elif code == _OP_XNOR2:
+                a = entry[2]
+                b = entry[3]
+                out_word = ~(changed_get(a, good[a])
+                             ^ changed_get(b, good[b])) & mask
+            elif code == _OP_INV:
+                a = entry[2]
+                out_word = ~changed_get(a, good[a]) & mask
+            elif code == _OP_BUF:
+                a = entry[2]
+                out_word = changed_get(a, good[a])
+            elif code == _OP_MUX2:
+                a = entry[2]
+                b = entry[3]
+                s = changed_get(entry[4], good[entry[4]])
+                out_word = ((changed_get(a, good[a]) & ~s)
+                            | (changed_get(b, good[b]) & s))
+            elif code == _OP_AOI21:
+                out_word = ~((changed_get(entry[2], good[entry[2]])
+                              & changed_get(entry[3], good[entry[3]]))
+                             | changed_get(entry[4], good[entry[4]])) & mask
+            elif code == _OP_OAI21:
+                out_word = ~((changed_get(entry[2], good[entry[2]])
+                              | changed_get(entry[3], good[entry[3]]))
+                             & changed_get(entry[4], good[entry[4]])) & mask
+            elif code == _OP_AND3:
+                out_word = (changed_get(entry[2], good[entry[2]])
+                            & changed_get(entry[3], good[entry[3]])
+                            & changed_get(entry[4], good[entry[4]]))
+            elif code == _OP_OR3:
+                out_word = (changed_get(entry[2], good[entry[2]])
+                            | changed_get(entry[3], good[entry[3]])
+                            | changed_get(entry[4], good[entry[4]]))
+            elif code == _OP_NAND3:
+                out_word = ~(changed_get(entry[2], good[entry[2]])
+                             & changed_get(entry[3], good[entry[3]])
+                             & changed_get(entry[4], good[entry[4]])) & mask
+            elif code == _OP_NOR3:
+                out_word = ~(changed_get(entry[2], good[entry[2]])
+                             | changed_get(entry[3], good[entry[3]])
+                             | changed_get(entry[4], good[entry[4]])) & mask
+            elif code == _OP_XOR3:
+                out_word = (changed_get(entry[2], good[entry[2]])
+                            ^ changed_get(entry[3], good[entry[3]])
+                            ^ changed_get(entry[4], good[entry[4]]))
+            elif code == _OP_XNOR3:
+                out_word = ~(changed_get(entry[2], good[entry[2]])
+                             ^ changed_get(entry[3], good[entry[3]])
+                             ^ changed_get(entry[4], good[entry[4]])) & mask
+            else:
+                out_word = entry[2](
+                    [changed_get(i, good[i]) for i in entry[3]], mask)
+            current = changed_get(out, good[out])
             if out_word == current:
                 # If it converged back to the good value, forget the entry.
-                if gate.out in changed and out_word == good[gate.out]:
-                    del changed[gate.out]
+                if out in changed and out_word == good[out]:
+                    del changed[out]
                 continue
-            changed[gate.out] = out_word
-            for dependent in users[gate.out]:
+            changed[out] = out_word
+            for dependent in users[out]:
                 if dependent not in queued:
                     queued.add(dependent)
                     heapq.heappush(heap, dependent)
 
+        instrument.count("sim.propagate_events", events)
         detect = 0
         observed = self.observed
         for nid, word in changed.items():

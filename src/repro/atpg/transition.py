@@ -73,6 +73,10 @@ def run_transition_atpg(view: TestView, config: Optional[AtpgConfig] = None
     random_kept = 0
 
     # ---- phase 1: random pattern pairs --------------------------------
+    # Launch and capture values live side by side, so the run reuses two
+    # preallocated buffers (one per cycle) across blocks.
+    launch_buffer = circuit.make_buffer()
+    capture_buffer = circuit.make_buffer()
     idle = 0
     for _block in range(config.max_random_blocks):
         active = [i for i, s in enumerate(status) if s == _ACTIVE]
@@ -80,8 +84,8 @@ def run_transition_atpg(view: TestView, config: Optional[AtpgConfig] = None
             break
         words1 = [rng.getrandbits(config.block_width) for _ in range(columns)]
         words2 = [rng.getrandbits(config.block_width) for _ in range(columns)]
-        good1 = circuit.simulate(words1, mask)
-        good2 = circuit.simulate(words2, mask)
+        good1 = circuit.simulate(words1, mask, out=launch_buffer)
+        good2 = circuit.simulate(words2, mask, out=capture_buffer)
         first_detector: Dict[int, int] = {}
         for index in active:
             fault = faults[index]

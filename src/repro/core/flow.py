@@ -37,7 +37,7 @@ from repro.dft.wrapper import InsertionReport, WrapperGroup, WrapperPlan, insert
 from repro.netlist.core import Netlist, PortKind
 from repro.netlist.topology import fanin_cone
 from repro.runtime import instrument
-from repro.sta.timer import TimingAnalyzer, TimingResult, default_case
+from repro.sta.timer import TimingContext, TimingResult, default_case
 from repro.util.errors import ConfigError
 
 
@@ -291,11 +291,14 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
             wrapped, report = insert_wrappers(problem.netlist, plan)
             stitch_scan_chains(wrapped, restitch=True)
         with instrument.phase("flow.sta"):
-            analyzer = TimingAnalyzer(wrapped)
-            functional_timing = analyzer.analyze(
+            # One context serves both sign-off modes: the graph prep
+            # (positions, loads, wire delays) is shared, only the
+            # arrival/required sweeps differ per case.
+            context = TimingContext(wrapped)
+            functional_timing = context.analyze(
                 config.scenario.clock,
                 case=default_case(wrapped, test_mode=0))
-            test_timing = analyzer.analyze(
+            test_timing = context.analyze(
                 config.scenario.clock,
                 case=default_case(wrapped, test_mode=1))
         if not (config.signoff_repair and config.scenario.is_timed):

@@ -29,6 +29,7 @@ from repro.core.problem import WcmProblem
 from repro.core.testability import OverlapTestabilityEstimator
 from repro.core.timing_model import ReuseTimingModel
 from repro.netlist.core import PortKind
+from repro.runtime import instrument
 
 
 @dataclass
@@ -66,20 +67,31 @@ class WcmGraph:
 
 def _cone_bitsets(problem: WcmProblem, names: Sequence[str], kind: PortKind
                   ) -> Dict[str, int]:
-    """Cone-as-bitset per node: one shared bit index per object name."""
-    index: Dict[str, int] = {}
-    bitsets: Dict[str, int] = {}
+    """Cone-as-bitset per node: one shared bit index per object name.
+
+    Cones depend only on the (immutable) die topology, so bitsets are
+    cached on the problem per TSV direction and shared across repeated
+    graph builds (methods, retimes, clique restarts). The bit index
+    grows incrementally with newly seen nodes; only AND-emptiness is
+    ever consumed, which is invariant to bit assignment.
+    """
+    index, bitsets = problem.cone_bitset_cache.setdefault(kind, ({}, {}))
+    out: Dict[str, int] = {}
     for name in names:
-        cone = problem.cones.gate_cone(name, kind)
-        value = 0
-        for item in cone:
-            bit = index.get(item)
-            if bit is None:
-                bit = len(index)
-                index[item] = bit
-            value |= (1 << bit)
-        bitsets[name] = value
-    return bitsets
+        value = bitsets.get(name)
+        if value is None:
+            instrument.count("graph.cone_bitset_builds")
+            cone = problem.cones.gate_cone(name, kind)
+            value = 0
+            for item in cone:
+                bit = index.get(item)
+                if bit is None:
+                    bit = len(index)
+                    index[item] = bit
+                value |= (1 << bit)
+            bitsets[name] = value
+        out[name] = value
+    return out
 
 
 def effective_d_th(problem: WcmProblem, config: WcmConfig) -> float:
@@ -97,9 +109,18 @@ def effective_d_th(problem: WcmProblem, config: WcmConfig) -> float:
 def build_wcm_graph(problem: WcmProblem, kind: PortKind,
                     available_ffs: Sequence[str], config: WcmConfig,
                     timing_model: Optional[ReuseTimingModel] = None,
-                    estimator: Optional[OverlapTestabilityEstimator] = None
-                    ) -> WcmGraph:
-    """Algorithm 1: build the sharing graph for one TSV direction."""
+                    estimator: Optional[OverlapTestabilityEstimator] = None,
+                    use_grid: bool = True) -> WcmGraph:
+    """Algorithm 1: build the sharing graph for one TSV direction.
+
+    When the distance limit is active the pair sweep is grid-indexed: a
+    spatial hash bucketed at ``d_th`` yields the candidate pairs (a
+    superset of all pairs with Manhattan distance < ``d_th``), and the
+    pairs in non-neighbouring buckets are charged to
+    ``rejected_distance`` arithmetically. Candidate pairs still run the
+    exact distance check, so edges, statistics and estimator call order
+    are identical to the brute-force sweep (``use_grid=False``).
+    """
     model = timing_model or ReuseTimingModel(problem, config)
     stats = GraphStats()
 
@@ -161,12 +182,61 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
         else:
             stats.rejected_testability += 1
 
-    for i, tsv_a in enumerate(tsvs):
-        for tsv_b in tsvs[i + 1:]:
-            consider(tsv_a, tsv_b, a_is_ff=False)
-    for ff in ffs:
-        for tsv in tsvs:
-            consider(ff, tsv, a_is_ff=True)
+    total_pairs = len(tsvs) * (len(tsvs) - 1) // 2 + len(ffs) * len(tsvs)
+    if not (check_distance and use_grid):
+        for i, tsv_a in enumerate(tsvs):
+            for tsv_b in tsvs[i + 1:]:
+                consider(tsv_a, tsv_b, a_is_ff=False)
+        for ff in ffs:
+            for tsv in tsvs:
+                consider(ff, tsv, a_is_ff=True)
+    elif d_th <= 0.0:
+        # distance >= d_th holds for every pair: all rejected, no sweep.
+        stats.rejected_distance += total_pairs
+    else:
+        # Spatial hash at cell size d_th: any pair with Manhattan
+        # distance < d_th sits in the same or an adjacent bucket, so
+        # the 3x3 neighbourhood is a sound candidate superset.
+        inv_cell = 1.0 / d_th
+        location_of = problem.location_of
+
+        def bucket_of(name: str) -> Tuple[int, int]:
+            x, y = location_of(name)
+            return (math.floor(x * inv_cell), math.floor(y * inv_cell))
+
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for j, tsv in enumerate(tsvs):
+            buckets.setdefault(bucket_of(tsv), []).append(j)
+
+        def candidates(name: str) -> List[int]:
+            """TSV indices in the 3x3 bucket neighbourhood, ascending."""
+            bx, by = bucket_of(name)
+            found: List[int] = []
+            for nx in (bx - 1, bx, bx + 1):
+                for ny in (by - 1, by, by + 1):
+                    hit = buckets.get((nx, ny))
+                    if hit:
+                        found.extend(hit)
+            found.sort()
+            return found
+
+        candidate_pairs = 0
+        for i, tsv_a in enumerate(tsvs):
+            for j in candidates(tsv_a):
+                if j <= i:
+                    continue
+                candidate_pairs += 1
+                consider(tsv_a, tsvs[j], a_is_ff=False)
+        for ff in ffs:
+            for j in candidates(ff):
+                candidate_pairs += 1
+                consider(ff, tsvs[j], a_is_ff=True)
+        # Pairs outside the neighbourhood have distance >= d_th by
+        # construction; charge them without visiting.
+        stats.rejected_distance += total_pairs - candidate_pairs
+        instrument.count("graph.grid_candidate_pairs", candidate_pairs)
+        instrument.count("graph.grid_skipped_pairs",
+                         total_pairs - candidate_pairs)
 
     return WcmGraph(kind=kind, nodes=nodes, is_ff=is_ff,
                     adjacency=adjacency, excluded_tsvs=excluded,

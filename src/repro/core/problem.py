@@ -20,7 +20,7 @@ from repro.netlist.core import Netlist, Port, PortKind
 from repro.place.placer import PlacementConfig, place_die
 from repro.sta.constraints import ClockConstraint, UNCONSTRAINED, tight_period_for
 from repro.sta.delay import WireModel
-from repro.sta.timer import TimingAnalyzer, TimingResult, default_case
+from repro.sta.timer import TimingContext, TimingResult, default_case
 from repro.util.errors import ConfigError
 
 
@@ -48,6 +48,12 @@ class WcmProblem:
     #: critical path of the reference build (ps); basis of the tight
     #: clock period.
     dedicated_critical_path_ps: float
+    #: reusable STA context for the reference build; ``retime`` reuses
+    #: it so constraint sweeps skip the graph preparation.
+    timing_context: Optional[TimingContext] = None
+    #: cache of cone bitsets keyed by TSV kind, shared by repeated
+    #: graph builds over this problem (see ``core.graph``).
+    cone_bitset_cache: Dict = field(default_factory=dict)
 
     # -- convenience views ------------------------------------------------
     @property
@@ -74,10 +80,10 @@ class WcmProblem:
 
     def retime(self, clock: ClockConstraint) -> "WcmProblem":
         """Re-run the baseline STAs under a different clock constraint."""
-        analyzer = TimingAnalyzer(self.dedicated_netlist)
-        timing = analyzer.analyze(
+        context = self.timing_context or TimingContext(self.dedicated_netlist)
+        timing = context.analyze(
             clock, case=default_case(self.dedicated_netlist, test_mode=0))
-        test_timing = analyzer.analyze(
+        test_timing = context.analyze(
             clock, case=default_case(self.dedicated_netlist, test_mode=1))
         return WcmProblem(
             netlist=self.netlist,
@@ -87,6 +93,8 @@ class WcmProblem:
             cones=self.cones,
             dedicated_netlist=self.dedicated_netlist,
             dedicated_critical_path_ps=self.dedicated_critical_path_ps,
+            timing_context=context,
+            cone_bitset_cache=self.cone_bitset_cache,
         )
 
 
@@ -107,10 +115,10 @@ def build_problem(netlist: Netlist, clock: ClockConstraint = UNCONSTRAINED,
     # baseline STA every feasibility prediction is made against.
     wrapped, report = insert_wrappers(netlist, dedicated_plan(netlist))
     stitch_scan_chains(wrapped, restitch=True)
-    analyzer = TimingAnalyzer(wrapped)
-    timing = analyzer.analyze(clock, case=default_case(wrapped, test_mode=0))
-    test_timing = analyzer.analyze(clock,
-                                   case=default_case(wrapped, test_mode=1))
+    context = TimingContext(wrapped)
+    timing = context.analyze(clock, case=default_case(wrapped, test_mode=0))
+    test_timing = context.analyze(clock,
+                                  case=default_case(wrapped, test_mode=1))
 
     return WcmProblem(
         netlist=netlist,
@@ -123,6 +131,7 @@ def build_problem(netlist: Netlist, clock: ClockConstraint = UNCONSTRAINED,
         # build in BOTH sign-off modes (functional and at-speed test).
         dedicated_critical_path_ps=max(timing.critical_path_ps,
                                        test_timing.critical_path_ps),
+        timing_context=context,
     )
 
 

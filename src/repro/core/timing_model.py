@@ -100,13 +100,29 @@ class ReuseTimingModel:
         self._ff_required = (period - config.scenario.clock.setup_ps
                              if period is not None else INF)
         self._timed = config.scenario.is_timed
+        # Memoized lookups over immutable problem state. The pair sweep
+        # asks for the same locations / nets / resistances thousands of
+        # times; each cache returns exactly the value the uncached code
+        # would recompute.
+        self._location_cache: Dict[str, Tuple[float, float]] = {}
+        self._tsv_net_cache: Dict[str, str] = {}
+        self._resistance_cache: Dict[str, float] = {}
+        self._mux_b_required_cache: Dict[str, float] = {}
+        self._load_cache: Dict[str, float] = {}
+        self._mux_b_cap = self._mux.input_cap("B")
 
     # ------------------------------------------------------------------
     # Geometry / electrical primitives
     # ------------------------------------------------------------------
+    def _location(self, name: str) -> Tuple[float, float]:
+        loc = self._location_cache.get(name)
+        if loc is None:
+            loc = self._location_cache[name] = self.problem.location_of(name)
+        return loc
+
     def distance_um(self, name_a: str, name_b: str) -> float:
-        ax, ay = self.problem.location_of(name_a)
-        bx, by = self.problem.location_of(name_b)
+        ax, ay = self._location(name_a)
+        bx, by = self._location(name_b)
         return abs(ax - bx) + abs(ay - by)
 
     def _wire_cap(self, length_um: float) -> float:
@@ -120,9 +136,12 @@ class ReuseTimingModel:
         return self._wire.wire_delay_ps(length_um, load_ff)
 
     def _tsv_net(self, tsv_name: str) -> str:
-        net = self.problem.netlist.port(tsv_name).net
+        net = self._tsv_net_cache.get(tsv_name)
         if net is None:
-            raise ConfigError(f"TSV {tsv_name} unconnected")
+            net = self.problem.netlist.port(tsv_name).net
+            if net is None:
+                raise ConfigError(f"TSV {tsv_name} unconnected")
+            self._tsv_net_cache[tsv_name] = net
         return net
 
     @property
@@ -149,9 +168,7 @@ class ReuseTimingModel:
         must re-drive): pin caps plus, for the accurate model, the
         star-route wire capacitance from the TSV to each sink.
         """
-        cached = getattr(self, "_load_cache", None)
-        if cached is None:
-            cached = self._load_cache = {}
+        cached = self._load_cache
         load = cached.get(tsv_name)
         if load is not None:
             return load
@@ -173,20 +190,32 @@ class ReuseTimingModel:
         return total
 
     def _driver_resistance(self, net_name: str) -> float:
-        net = self.problem.netlist.net(net_name)
-        if net.driver is None or net.driver.is_port:
-            return 0.0
-        inst = self.problem.netlist.instance(net.driver.owner_name)
-        return inst.cell.drive_resistance
+        resistance = self._resistance_cache.get(net_name)
+        if resistance is None:
+            net = self.problem.netlist.net(net_name)
+            if net.driver is None or net.driver.is_port:
+                resistance = 0.0
+            else:
+                inst = self.problem.netlist.instance(net.driver.owner_name)
+                resistance = inst.cell.drive_resistance
+            self._resistance_cache[net_name] = resistance
+        return resistance
 
     def member_buffer_load(self, tsv_name: str) -> float:
         """What one member adds to the group buffer: its test mux pin
         (the mux re-drives the sink load itself)."""
-        return self._mux.input_cap("B")
+        return self._mux_b_cap
 
     def required_at_mux_b(self, tsv_name: str) -> float:
         """Required time at the inbound test mux's B pin, from the
         test-mode STA of the reference build."""
+        required = self._mux_b_required_cache.get(tsv_name)
+        if required is None:
+            required = self._required_at_mux_b(tsv_name)
+            self._mux_b_required_cache[tsv_name] = required
+        return required
+
+    def _required_at_mux_b(self, tsv_name: str) -> float:
         mux_out = self.problem.tsv_mux_out.get(tsv_name)
         if mux_out is None:
             return INF

@@ -6,6 +6,16 @@ between a net's driver and each sink uses the placement distance and
 the Elmore model; disabling the wire model reproduces [4]'s load-only
 timing.
 
+The constraint-independent part of the work — positions, per-net
+loads, topological order, per-(net, sink) wire delays, per-gate cell
+delays — lives in a :class:`TimingContext` bound to one netlist and is
+computed once; repeated :meth:`TimingContext.analyze` calls (dual-mode
+sign-off, ECO rounds, path reports) redo only the arrival/required
+sweeps. :meth:`TimingContext.invalidate_nets` refreshes the cached
+state for nets a caller mutated in place (placement moves, load
+changes); structural edits (new instances/nets) need
+:meth:`TimingContext.invalidate`.
+
 Conventions:
 
 * paths launch at input-direction ports (arrival = ``input_delay_ps``)
@@ -26,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.core import Instance, Net, Netlist, Pin, PortDirection, PortKind
 from repro.netlist.topology import topological_instances
+from repro.runtime import instrument
 from repro.sta.constraints import ClockConstraint, UNCONSTRAINED
 from repro.sta.delay import WireModel
 from repro.util.errors import TimingError
@@ -119,24 +130,26 @@ class TimingResult:
         return self.net_load_ff.get(net_name, 0.0)
 
 
-class TimingAnalyzer:
-    """STA engine bound to one netlist, wire model and TSV cap."""
+class TimingContext:
+    """Constraint-independent STA state bound to one netlist.
+
+    Builds positions, per-net loads, the topological instance order,
+    per-(net, sink) wire delays and per-gate cell delays once; every
+    :meth:`analyze` call then runs only the arrival/required sweeps.
+    Byte-identical to a from-scratch analysis — the cached values are
+    the same floats the sweeps would recompute.
+    """
 
     def __init__(self, netlist: Netlist, wire_model: Optional[WireModel] = None,
                  tsv_cap_ff: float = DEFAULT_TSV_CAP_FF) -> None:
         self.netlist = netlist
         self.wire = wire_model or WireModel()
         self.tsv_cap_ff = tsv_cap_ff
+        self._prepared = False
 
     # ------------------------------------------------------------------
-    def _positions(self) -> Dict[str, Tuple[float, float]]:
-        pos: Dict[str, Tuple[float, float]] = {}
-        for inst in self.netlist.instances.values():
-            pos[inst.name] = (inst.x, inst.y)
-        for port in self.netlist.ports.values():
-            pos[port.name] = (port.x, port.y)
-        return pos
-
+    # Preparation (once per netlist, or after invalidation)
+    # ------------------------------------------------------------------
     def _sink_cap(self, sink: Pin) -> float:
         if sink.is_port:
             port = self.netlist.port(sink.owner_name)
@@ -149,37 +162,132 @@ class TimingAnalyzer:
         inst = self.netlist.instance(sink.owner_name)
         return inst.cell.input_cap(sink.pin_name)
 
-    def compute_loads(self) -> Dict[str, float]:
+    def _compute_positions(self) -> Dict[str, Tuple[float, float]]:
+        pos: Dict[str, Tuple[float, float]] = {}
+        for inst in self.netlist.instances.values():
+            pos[inst.name] = (inst.x, inst.y)
+        for port in self.netlist.ports.values():
+            pos[port.name] = (port.x, port.y)
+        return pos
+
+    def _net_load(self, net: Net) -> float:
         """Per-net capacitive load: sink pin caps + star wire cap.
 
         This is the quantity Algorithm 1 compares against ``cap_th``
         for inbound TSVs.
         """
-        pos = self._positions()
-        loads: Dict[str, float] = {}
-        for net in self.netlist.nets.values():
-            total = 0.0
-            driver_pos = (pos[net.driver.owner_name]
-                          if net.driver is not None else None)
-            for sink in net.sinks:
-                if not sink.is_port and sink.pin_name == "SI":
-                    continue  # scan chain: shift-clock domain
-                total += self._sink_cap(sink)
-                if driver_pos is not None:
-                    sink_pos = pos[sink.owner_name]
-                    length = (abs(driver_pos[0] - sink_pos[0])
-                              + abs(driver_pos[1] - sink_pos[1]))
-                    total += self.wire.wire_cap_ff(length)
-            loads[net.name] = total
-        return loads
+        pos = self._pos
+        total = 0.0
+        driver_pos = (pos[net.driver.owner_name]
+                      if net.driver is not None else None)
+        for sink in net.sinks:
+            if not sink.is_port and sink.pin_name == "SI":
+                continue  # scan chain: shift-clock domain
+            total += self._sink_cap(sink)
+            if driver_pos is not None:
+                sink_pos = pos[sink.owner_name]
+                length = (abs(driver_pos[0] - sink_pos[0])
+                          + abs(driver_pos[1] - sink_pos[1]))
+                total += self.wire.wire_cap_ff(length)
+        return total
+
+    def _net_wire_delays(self, net: Net) -> None:
+        """(Re)compute the driver-to-sink wire delay of every sink."""
+        if net.driver is None:
+            return
+        pos = self._pos
+        delays = self._wire_delays
+        dpos = pos[net.driver.owner_name]
+        for sink in net.sinks:
+            spos = pos[sink.owner_name]
+            length = abs(dpos[0] - spos[0]) + abs(dpos[1] - spos[1])
+            delays[(net.name, sink.owner_name, sink.pin_name)] = \
+                self.wire.wire_delay_ps(length, self._sink_cap(sink))
+
+    def _prepare(self) -> None:
+        netlist = self.netlist
+        self._pos = self._compute_positions()
+        self._topo: List[str] = list(topological_instances(netlist))
+        self._ffs: List[Instance] = netlist.flip_flops()
+
+        self._loads: Dict[str, float] = {}
+        self._wire_delays: Dict[Tuple[str, str, str], float] = {}
+        for net in netlist.nets.values():
+            self._loads[net.name] = self._net_load(net)
+            self._net_wire_delays(net)
+
+        # Per-gate cell delay under the net's (constraint-independent)
+        # load — the same value both sweep directions ask for.
+        self._gate_delay: Dict[str, float] = {}
+        for inst in netlist.instances.values():
+            out = inst.output_net()
+            if out is not None:
+                self._gate_delay[inst.name] = inst.cell.delay_ps(
+                    self._loads.get(out, 0.0))
+
+        # Timeable (pin, net) pairs per instance, in cell pin order.
+        self._inst_pairs: Dict[str, List[Tuple[str, str]]] = {}
+        for name in self._topo:
+            inst = netlist.instance(name)
+            self._inst_pairs[name] = [
+                (p, n) for p, n in inst.input_nets()
+                if p not in ("CK", "SE", "SI")
+            ]
+
+        self._untimed_base = {
+            port.net for port in netlist.ports.values()
+            if port.kind in _UNTIMED_PORT_KINDS and port.net is not None
+        }
+        self._prepared = True
+        instrument.count("sta.context_builds")
 
     # ------------------------------------------------------------------
+    # Invalidation hooks
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all cached state (needed after structural edits)."""
+        self._prepared = False
+
+    def invalidate_nets(self, net_names) -> None:
+        """Refresh loads / wire delays / driver delays for nets whose
+        endpoints moved or whose pin loads changed in place.
+
+        Positions are refreshed wholesale (they are cheap); the per-net
+        quantities are recomputed only for *net_names*. Adding or
+        removing instances, nets or connections changes the topological
+        order — use :meth:`invalidate` for that.
+        """
+        if not self._prepared:
+            return
+        netlist = self.netlist
+        self._pos = self._compute_positions()
+        for name in net_names:
+            net = netlist.nets.get(name)
+            if net is None:
+                # The net is gone: that is a structural edit.
+                self.invalidate()
+                return
+            self._loads[name] = self._net_load(net)
+            self._net_wire_delays(net)
+            if net.driver is not None and not net.driver.is_port:
+                inst = netlist.instance(net.driver.owner_name)
+                self._gate_delay[inst.name] = inst.cell.delay_ps(
+                    self._loads.get(name, 0.0))
+        instrument.count("sta.context_invalidations")
+
+    # ------------------------------------------------------------------
+    def loads(self) -> Dict[str, float]:
+        """Per-net capacitive load map (a private snapshot)."""
+        if not self._prepared:
+            self._prepare()
+        return dict(self._loads)
+
     def _propagate_constants(self, case: Dict[str, int]) -> Dict[str, int]:
         """3-valued constant propagation of the case-analysis values."""
         from repro.atpg.podem import _eval3  # shared 3-valued evaluator
 
         consts: Dict[str, int] = dict(case)
-        for name in topological_instances(self.netlist):
+        for name in self._topo:
             inst = self.netlist.instance(name)
             ins = [consts.get(net, _X) for _pin, net in inst.input_nets()
                    if _pin not in ("CK", "SE", "SI")]
@@ -200,24 +308,26 @@ class TimingAnalyzer:
         startpoints nor endpoints, and a mux whose select is constant
         passes arrival only from the selected data input.
         """
+        if not self._prepared:
+            self._prepare()
+        instrument.count("sta.analyze_calls")
         netlist = self.netlist
-        pos = self._positions()
-        loads = self.compute_loads()
+        loads = self._loads
+        gate_delay = self._gate_delay
+        wire_delays = self._wire_delays
         consts = self._propagate_constants(case) if case else {}
 
-        untimed_nets = {
-            port.net for port in netlist.ports.values()
-            if port.kind in _UNTIMED_PORT_KINDS and port.net is not None
-        }
-        untimed_nets |= set(consts)
+        untimed_nets = self._untimed_base | set(consts)
+
+        inst_pairs = self._inst_pairs
 
         def active_input_nets(inst: Instance) -> List[tuple]:
             """(pin, net) pairs that can propagate a transition."""
             out_net = inst.output_net()
             if out_net is not None and out_net in consts:
                 return []
-            pairs = [(p, n) for p, n in inst.input_nets()
-                     if p not in ("CK", "SE", "SI") and n not in untimed_nets]
+            pairs = [(p, n) for p, n in inst_pairs[inst.name]
+                     if n not in untimed_nets]
             if inst.cell.function == "mux2":
                 s_net = inst.connections.get("S")
                 s_val = consts.get(s_net, _X) if s_net else _X
@@ -227,26 +337,18 @@ class TimingAnalyzer:
                     pairs = [(p, n) for p, n in pairs if p != "A"]
             return pairs
 
-        def wire_delay(net: Net, sink: Pin) -> float:
-            if net.driver is None:
-                return 0.0
-            dpos = pos[net.driver.owner_name]
-            spos = pos[sink.owner_name]
-            length = abs(dpos[0] - spos[0]) + abs(dpos[1] - spos[1])
-            return self.wire.wire_delay_ps(length, self._sink_cap(sink))
-
         # ---- forward: arrival at net driver outputs --------------------
         arrival: Dict[str, float] = {}
         for port in netlist.ports.values():
             if port.direction is PortDirection.INPUT and port.net is not None \
                     and port.kind not in _UNTIMED_PORT_KINDS:
                 arrival[port.net] = constraint.input_delay_ps
-        for inst in netlist.flip_flops():
+        for inst in self._ffs:
             out = inst.output_net()
             if out is not None:
-                arrival[out] = inst.cell.delay_ps(loads.get(out, 0.0))
+                arrival[out] = gate_delay[inst.name]
 
-        for name in topological_instances(netlist):
+        for name in self._topo:
             inst = netlist.instance(name)
             active = active_input_nets(inst)
             out = inst.output_net()
@@ -254,11 +356,11 @@ class TimingAnalyzer:
                 continue
             worst_in = 0.0
             for pin_name, net_name in active:
-                net = netlist.net(net_name)
                 pin_arrival = (arrival.get(net_name, 0.0)
-                               + wire_delay(net, inst.pin(pin_name)))
+                               + wire_delays.get((net_name, name, pin_name),
+                                                 0.0))
                 worst_in = max(worst_in, pin_arrival)
-            arrival[out] = worst_in + inst.cell.delay_ps(loads.get(out, 0.0))
+            arrival[out] = worst_in + gate_delay[name]
 
         # ---- endpoints ---------------------------------------------------
         period = constraint.period_ps if constraint.is_constrained else INF
@@ -270,13 +372,12 @@ class TimingAnalyzer:
         port_slack: Dict[str, float] = {}
         critical = 0.0
 
-        for inst in netlist.flip_flops():
+        for inst in self._ffs:
             net_name = inst.connections.get("D")
             if net_name is None or net_name in untimed_nets:
                 continue
-            net = netlist.net(net_name)
             pin_arrival = (arrival.get(net_name, 0.0)
-                           + wire_delay(net, inst.pin("D")))
+                           + wire_delays.get((net_name, inst.name, "D"), 0.0))
             critical = max(critical, pin_arrival + constraint.setup_ps)
             endpoints.append(EndpointSlack(
                 kind="ff_d",
@@ -289,8 +390,8 @@ class TimingAnalyzer:
             if port.direction is not PortDirection.OUTPUT or port.net is None \
                     or port.net in consts:
                 continue
-            net = netlist.net(port.net)
-            pin_arrival = arrival.get(port.net, 0.0) + wire_delay(net, port.pin())
+            pin_arrival = (arrival.get(port.net, 0.0)
+                           + wire_delays.get((port.net, port.name, ""), 0.0))
             critical = max(critical, pin_arrival + constraint.output_margin_ps)
             endpoint = EndpointSlack(
                 kind="port", name=port.name,
@@ -307,19 +408,20 @@ class TimingAnalyzer:
             if value < current:
                 required[net_name] = value
 
-        for inst in netlist.flip_flops():
+        for inst in self._ffs:
             net_name = inst.connections.get("D")
             if net_name is None or net_name in untimed_nets:
                 continue
-            net = netlist.net(net_name)
-            relax(net_name, ff_required - wire_delay(net, inst.pin("D")))
+            relax(net_name,
+                  ff_required - wire_delays.get((net_name, inst.name, "D"),
+                                                0.0))
         for port in netlist.ports.values():
             if port.direction is PortDirection.OUTPUT and port.net is not None:
-                net = netlist.net(port.net)
                 relax(port.net,
-                      port_required - wire_delay(net, port.pin()))
+                      port_required - wire_delays.get((port.net, port.name, ""),
+                                                      0.0))
 
-        for name in reversed(topological_instances(netlist)):
+        for name in reversed(self._topo):
             inst = netlist.instance(name)
             out = inst.output_net()
             if out is None or out in consts:
@@ -327,18 +429,59 @@ class TimingAnalyzer:
             out_required = required.get(out, INF)
             if out_required is INF:
                 continue
-            budget = out_required - inst.cell.delay_ps(loads.get(out, 0.0))
+            budget = out_required - gate_delay[name]
             for pin_name, net_name in active_input_nets(inst):
-                net = netlist.net(net_name)
-                relax(net_name, budget - wire_delay(net, inst.pin(pin_name)))
+                relax(net_name,
+                      budget - wire_delays.get((net_name, name, pin_name),
+                                               0.0))
 
         return TimingResult(
             netlist_name=netlist.name,
             constraint=constraint,
             arrival_ps=arrival,
             required_ps=required,
-            net_load_ff=loads,
+            net_load_ff=dict(loads),
             endpoints=endpoints,
             port_slack_ps=port_slack,
             critical_path_ps=critical,
         )
+
+
+class TimingAnalyzer:
+    """STA engine bound to one netlist, wire model and TSV cap.
+
+    A thin veneer over :class:`TimingContext`: the context is built on
+    the first :meth:`analyze` and reused for every later call, so
+    dual-mode sign-off and constraint sweeps pay the graph preparation
+    once. Callers that mutate the netlist in place must call
+    :meth:`invalidate` (or :meth:`TimingContext.invalidate_nets` on
+    :attr:`context`) before re-analyzing.
+    """
+
+    def __init__(self, netlist: Netlist, wire_model: Optional[WireModel] = None,
+                 tsv_cap_ff: float = DEFAULT_TSV_CAP_FF) -> None:
+        self.netlist = netlist
+        self.wire = wire_model or WireModel()
+        self.tsv_cap_ff = tsv_cap_ff
+        self._context: Optional[TimingContext] = None
+
+    @property
+    def context(self) -> TimingContext:
+        if self._context is None:
+            self._context = TimingContext(self.netlist, self.wire,
+                                          self.tsv_cap_ff)
+        return self._context
+
+    def invalidate(self) -> None:
+        """Drop cached context state after netlist edits."""
+        if self._context is not None:
+            self._context.invalidate()
+
+    def compute_loads(self) -> Dict[str, float]:
+        """Per-net capacitive load: sink pin caps + star wire cap."""
+        return self.context.loads()
+
+    def analyze(self, constraint: ClockConstraint = UNCONSTRAINED,
+                case: Optional[Dict[str, int]] = None) -> TimingResult:
+        """STA under *constraint*, optionally with case analysis."""
+        return self.context.analyze(constraint, case)

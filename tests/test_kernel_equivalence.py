@@ -1,0 +1,191 @@
+"""Equivalence of the kernelized hot loops with their reference forms.
+
+Three kernels were specialized for speed (DESIGN.md §6): the op-tape
+block simulator, the reusable STA context, and the grid-indexed graph
+sweep. Each must be *byte-identical* to the straightforward
+implementation; these tests pin that down on random circuits and on a
+real die.
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.sim import CompiledCircuit
+from repro.bench.generator import generate_die
+from repro.bench.itc99 import die_profile
+from repro.core.config import Scenario, WcmConfig
+from repro.core.graph import build_wcm_graph
+from repro.core.problem import build_problem, tight_clock_for
+from repro.dft.scan import stitch_scan_chains
+from repro.dft.testview import build_prebond_test_view
+from repro.netlist.core import PortKind
+from repro.place.placer import place_die
+from repro.sta.constraints import ClockConstraint
+from repro.sta.timer import TimingAnalyzer, TimingContext, default_case
+from repro.util.rng import DeterministicRng
+
+from tests.test_properties import random_circuit
+
+_WIDTH = 64
+_MASK = (1 << _WIDTH) - 1
+_CLOCK = ClockConstraint(period_ps=900.0)
+
+
+def _compiled(seed: int, n_gates: int = 30, n_inputs: int = 5):
+    netlist = random_circuit(seed, n_gates, n_inputs)
+    return CompiledCircuit(build_prebond_test_view(netlist))
+
+
+# ---------------------------------------------------------------------------
+# Op-tape block simulator vs the per-gate reference interpreter
+# ---------------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_tape_matches_reference_interpreter(seed):
+    circuit = _compiled(seed)
+    rng = DeterministicRng(seed)
+    words = [rng.getrandbits(_WIDTH) for _ in range(circuit.input_count)]
+    assert circuit.simulate(words, _MASK) \
+        == circuit.simulate_reference(words, _MASK)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_tape_buffer_reuse_is_transparent(seed):
+    """Reusing one values buffer across blocks changes nothing."""
+    circuit = _compiled(seed)
+    rng = DeterministicRng(seed)
+    buffer = circuit.make_buffer()
+    for _ in range(3):
+        words = [rng.getrandbits(_WIDTH) for _ in range(circuit.input_count)]
+        reused = circuit.simulate(words, _MASK, out=buffer)
+        assert reused is buffer
+        assert reused == circuit.simulate_reference(words, _MASK)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_event_propagation_matches_full_resimulation(seed):
+    """Event-driven stem propagation == brute-force faulty resim."""
+    circuit = _compiled(seed)
+    rng = DeterministicRng(seed)
+    words = [rng.getrandbits(_WIDTH) for _ in range(circuit.input_count)]
+    good = circuit.simulate(words, _MASK)
+    observed = circuit.observed
+
+    for gate in circuit.gates:
+        stem = gate.out
+        for value in (0, 1):
+            forced = _MASK if value else 0
+            # Brute force: re-evaluate the whole circuit with the stem
+            # pinned to the fault value.
+            faulty = list(good)
+            faulty[stem] = forced
+            for g in circuit.gates:
+                if g.out == stem:
+                    continue
+                faulty[g.out] = g.op([faulty[i] for i in g.ins], _MASK)
+            expected = 0
+            for nid in observed:
+                expected |= (faulty[nid] ^ good[nid])
+            expected &= _MASK
+            if forced == (good[stem] & _MASK):
+                expected = 0  # never activated
+            assert circuit.propagate_stem(good, stem, value, _MASK) \
+                == expected
+
+
+# ---------------------------------------------------------------------------
+# Reusable STA context vs a fresh analyzer per call
+# ---------------------------------------------------------------------------
+def _results_equal(a, b):
+    assert a.arrival_ps == b.arrival_ps
+    assert a.required_ps == b.required_ps
+    assert a.net_load_ff == b.net_load_ff
+    assert a.critical_path_ps == b.critical_path_ps
+    assert a.port_slack_ps == b.port_slack_ps
+    assert [(e.kind, e.name, e.arrival_ps, e.required_ps)
+            for e in a.endpoints] \
+        == [(e.kind, e.name, e.arrival_ps, e.required_ps)
+            for e in b.endpoints]
+
+
+def test_context_reuse_matches_fresh_analyzer(medium_die):
+    context = TimingContext(medium_die)
+    for test_mode in (0, 1, 0, 1):  # repeated calls over one context
+        case = default_case(medium_die, test_mode=test_mode)
+        reused = context.analyze(_CLOCK, case=case)
+        fresh = TimingAnalyzer(medium_die).analyze(_CLOCK, case=case)
+        _results_equal(reused, fresh)
+
+
+def test_context_invalidate_nets_tracks_in_place_moves():
+    # A private die: this test moves an instance in place.
+    die = generate_die(die_profile("b11", 0), seed=2019)
+    place_die(die)
+    stitch_scan_chains(die)
+    context = TimingContext(die)
+    context.analyze(_CLOCK)  # force preparation
+
+    # Move a combinational instance; every net on its pins changes
+    # either its wire delays (as a sink) or its load (as a driver).
+    inst = next(i for i in die.instances.values()
+                if i.output_net() is not None)
+    inst.x += 37.0
+    inst.y += 11.0
+    context.invalidate_nets(set(inst.connections.values()))
+
+    reused = context.analyze(_CLOCK)
+    fresh = TimingAnalyzer(die).analyze(_CLOCK)
+    _results_equal(reused, fresh)
+
+
+def test_context_full_invalidation(medium_die):
+    context = TimingContext(medium_die)
+    before = context.analyze(_CLOCK)
+    context.invalidate()
+    _results_equal(before, context.analyze(_CLOCK))
+
+
+# ---------------------------------------------------------------------------
+# Grid-indexed edge sweep vs the brute-force O(n^2) sweep
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def timed_problem(medium_die):
+    problem = build_problem(medium_die, already_prepared=True)
+    return problem.retime(tight_clock_for(problem))
+
+
+@pytest.mark.parametrize("kind", [PortKind.TSV_INBOUND,
+                                  PortKind.TSV_OUTBOUND])
+@pytest.mark.parametrize("d_th_fraction", [0.05, 0.15, 0.4, 1.0])
+def test_grid_sweep_matches_brute_force(timed_problem, kind, d_th_fraction):
+    period = timed_problem.timing.constraint.period_ps
+    scenario = Scenario.performance_optimized(period)
+    config = dataclasses.replace(WcmConfig.ours(scenario),
+                                 d_th_fraction=d_th_fraction,
+                                 d_th_um=math.inf)
+    ffs = timed_problem.scan_ffs
+    grid = build_wcm_graph(timed_problem, kind, ffs, config, use_grid=True)
+    brute = build_wcm_graph(timed_problem, kind, ffs, config, use_grid=False)
+    assert grid.adjacency == brute.adjacency
+    assert grid.stats == brute.stats
+    assert grid.nodes == brute.nodes
+    assert grid.excluded_tsvs == brute.excluded_tsvs
+
+
+def test_grid_sweep_zero_threshold_rejects_all_pairs(timed_problem):
+    period = timed_problem.timing.constraint.period_ps
+    config = dataclasses.replace(
+        WcmConfig.ours(Scenario.performance_optimized(period)),
+        d_th_fraction=None, d_th_um=0.0)
+    ffs = timed_problem.scan_ffs
+    grid = build_wcm_graph(timed_problem, PortKind.TSV_INBOUND, ffs, config,
+                           use_grid=True)
+    brute = build_wcm_graph(timed_problem, PortKind.TSV_INBOUND, ffs, config,
+                            use_grid=False)
+    assert grid.stats == brute.stats
+    assert grid.stats.edges == 0
