@@ -29,7 +29,7 @@ from repro.atpg.podem import PodemGenerator
 from repro.atpg.sim import CompiledCircuit
 from repro.dft.testview import TestView
 from repro.runtime import instrument
-from repro.util.errors import AtpgError
+from repro.util.errors import AtpgError, ConfigError
 from repro.util.rng import DeterministicRng
 
 
@@ -50,6 +50,29 @@ class AtpgConfig:
     fault_sample: Optional[int] = None
     #: reverse-order static compaction of the final pattern set
     compaction: bool = False
+
+    def __post_init__(self) -> None:
+        # Bad budgets misbehave deep in the engine (empty packed blocks,
+        # negative slicing, PODEM loops that never bound) — reject them
+        # at construction, where the mistake is still attributable.
+        if self.block_width <= 0:
+            raise ConfigError(
+                f"block_width must be positive, got {self.block_width}")
+        if self.max_random_blocks < 0:
+            raise ConfigError(f"max_random_blocks must be >= 0, "
+                              f"got {self.max_random_blocks}")
+        if self.stop_after_idle_blocks < 0:
+            raise ConfigError(f"stop_after_idle_blocks must be >= 0, "
+                              f"got {self.stop_after_idle_blocks}")
+        if self.backtrack_limit < 0:
+            raise ConfigError(f"backtrack_limit must be >= 0, "
+                              f"got {self.backtrack_limit}")
+        if self.podem_fault_limit is not None and self.podem_fault_limit < 0:
+            raise ConfigError(f"podem_fault_limit must be >= 0 or None, "
+                              f"got {self.podem_fault_limit}")
+        if self.fault_sample is not None and self.fault_sample <= 0:
+            raise ConfigError(f"fault_sample must be positive or None, "
+                              f"got {self.fault_sample}")
 
 
 @dataclass

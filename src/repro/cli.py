@@ -20,6 +20,17 @@ Runtime flags (valid before or after the subcommand):
   rooted at PATH (``$REPRO_CACHE_DIR`` is the env equivalent); reruns
   then skip every already-computed flow/ATPG cell.
 * ``--no-cache`` — force the cache off even when configured.
+* ``--timeout S`` — per-cell wall-clock budget; a cell that exceeds it
+  is killed and reported as failed (``0`` disables).
+* ``--retries N`` — re-run a crashed/failed cell up to N times with the
+  same derived seed before marking it failed.
+* ``--strict`` — abort on the first failed cell instead of rendering
+  the table with the survivors.
+* ``--checkpoint-dir PATH`` — journal completed cells so an
+  interrupted sweep resumes where it left off.
+
+Exit status: 0 when every cell succeeded, 1 when a table rendered with
+failed cells excluded, 2 when a strict sweep aborted.
 """
 
 from __future__ import annotations
@@ -41,7 +52,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import scale_banner
 from repro.runtime import configure
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, RuntimeExecutionError
 
 _DRIVERS: Dict[str, Callable] = {
     "table1": run_table1,
@@ -58,7 +69,9 @@ _EXPORT_ORDER = ("table2", "table1", "table3", "table4", "table5",
                  "figure7")
 
 
-def _run_driver(name: str, scale_name: Optional[str], verbose: bool) -> str:
+def _run_driver(name: str, scale_name: Optional[str],
+                verbose: bool) -> int:
+    """Regenerate one artifact; returns the number of failed cells."""
     scale = resolve_scale(scale_name)
     print(scale_banner(scale))
     started = time.time()
@@ -66,7 +79,7 @@ def _run_driver(name: str, scale_name: Optional[str], verbose: bool) -> str:
     rendered = result.render()
     print(rendered)
     print(f"[{name} regenerated in {time.time() - started:.1f}s]")
-    return rendered
+    return len(getattr(result, "failures", ()))
 
 
 def _cmd_die(args: argparse.Namespace) -> int:
@@ -151,14 +164,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     scale = resolve_scale(getattr(args, "scale", None))
     sections = []
+    failures = 0
     for name in _EXPORT_ORDER:
         print(f"regenerating {name}...", flush=True)
         result = _DRIVERS[name](scale)
+        failures += len(getattr(result, "failures", ()))
         sections.append(f"## {name}\n\n```\n{result.render()}\n```\n")
     with open(args.path, "w") as handle:
         handle.write(f"# Regenerated results (scale={scale.name})\n\n")
         handle.write("\n".join(sections))
     print(f"wrote {args.path}")
+    if failures:
+        print(f"{failures} cell(s) failed; see the exported tables",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -184,6 +203,21 @@ def _common_options() -> argparse.ArgumentParser:
     common.add_argument("--no-cache", action="store_true",
                         default=argparse.SUPPRESS,
                         help="disable the result cache")
+    common.add_argument("--timeout", type=float, default=argparse.SUPPRESS,
+                        metavar="S",
+                        help="per-cell wall-clock budget in seconds "
+                             "(0 disables)")
+    common.add_argument("--retries", type=int, default=argparse.SUPPRESS,
+                        metavar="N",
+                        help="re-run a failed cell up to N times with "
+                             "the same seed")
+    common.add_argument("--strict", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="abort on the first failed cell")
+    common.add_argument("--checkpoint-dir", default=argparse.SUPPRESS,
+                        metavar="PATH",
+                        help="journal completed cells so interrupted "
+                             "sweeps resume")
     return common
 
 
@@ -226,25 +260,40 @@ def main(argv=None) -> int:
     try:
         configure(jobs=getattr(args, "jobs", None),
                   cache_dir=getattr(args, "cache_dir", None),
-                  no_cache=getattr(args, "no_cache", None))
+                  no_cache=getattr(args, "no_cache", None),
+                  timeout_s=getattr(args, "timeout", None),
+                  retries=getattr(args, "retries", None),
+                  strict=getattr(args, "strict", None),
+                  checkpoint_dir=getattr(args, "checkpoint_dir", None))
     except ConfigError as exc:
         parser.error(str(exc))
 
     scale_name = getattr(args, "scale", None)
     verbose = getattr(args, "verbose", False)
-    if args.command in _DRIVERS:
-        _run_driver(args.command, scale_name, verbose)
-        return 0
-    if args.command in ("all-tables", "tables"):
-        for name in _EXPORT_ORDER:
-            _run_driver(name, scale_name, verbose)
-        return 0
-    if args.command == "die":
-        return _cmd_die(args)
-    if args.command == "profile":
-        return _cmd_profile(args)
-    if args.command == "export":
-        return _cmd_export(args)
+    try:
+        if args.command in _DRIVERS:
+            failures = _run_driver(args.command, scale_name, verbose)
+            if failures:
+                print(f"{failures} cell(s) failed; table rendered "
+                      f"without them", file=sys.stderr)
+            return 1 if failures else 0
+        if args.command in ("all-tables", "tables"):
+            failures = 0
+            for name in _EXPORT_ORDER:
+                failures += _run_driver(name, scale_name, verbose)
+            if failures:
+                print(f"{failures} cell(s) failed across the sweep",
+                      file=sys.stderr)
+            return 1 if failures else 0
+        if args.command == "die":
+            return _cmd_die(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "export":
+            return _cmd_export(args)
+    except RuntimeExecutionError as exc:
+        print(f"sweep aborted: {exc}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command}")
     return 2
 

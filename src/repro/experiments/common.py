@@ -255,6 +255,20 @@ class MethodSpec:
         return tuple(PortKind(value) for value in self.order)
 
 
+def _load_cached(cache, key: str, decode):
+    """Decode one cache payload; quarantine entries whose JSON parses
+    but whose shape no longer matches (truncated rewrite, stale schema
+    survivor) instead of raising out of the sweep."""
+    payload = cache.get(key)
+    if payload is None:
+        return None
+    try:
+        return decode(payload)
+    except (KeyError, ValueError, TypeError):
+        cache.quarantine(key)
+        return None
+
+
 def run_cell(circuit: str, die_index: int, seed: int,
              scale: ExperimentScale, spec: MethodSpec,
              with_atpg: bool = False, include_transition: bool = True
@@ -278,20 +292,19 @@ def run_cell(circuit: str, die_index: int, seed: int,
 
     if cache is not None:
         key = wcm_cache_key(profile, seed, spec, scale.estimator_budget)
-        payload = cache.get(key)
-        if payload is not None:
-            summary = WcmSummary.from_payload(payload)
+        summary = _load_cached(cache, key, WcmSummary.from_payload)
         if with_atpg:
             results = {}
             for model in models:
                 atpg_key = atpg_cache_key(profile, seed, spec,
                                           scale.estimator_budget,
                                           atpg_config, model)
-                atpg_payload = cache.get(atpg_key)
-                if atpg_payload is None:
+                result = _load_cached(cache, atpg_key,
+                                      atpg_result_from_payload)
+                if result is None:
                     results = None
                     break
-                results[model] = atpg_result_from_payload(atpg_payload)
+                results[model] = result
             if results is not None:
                 report = TestabilityReport(
                     stuck_at=results["stuck_at"],
@@ -324,3 +337,50 @@ def run_cell(circuit: str, die_index: int, seed: int,
                                          atpg_config, model),
                           atpg_result_to_payload(result))
     return summary, report
+
+
+# ---------------------------------------------------------------------------
+# Supervised sweeps (failure threading shared by every table driver)
+# ---------------------------------------------------------------------------
+from repro.runtime.supervisor import supervised_map  # noqa: E402
+
+
+def sweep_cells(fn, keys, cells, jobs: Optional[int], seed: int,
+                label: str) -> Tuple[Dict, Dict[object, str]]:
+    """Run one driver's cells under supervision, keyed by *keys*.
+
+    Returns ``(ok, failed)``: per-key results for cells that survived,
+    and per-key failure descriptions for cells that crashed, raised or
+    timed out (retry, strictness, timeout and checkpointing follow the
+    runtime config unless the caller passes an explicit policy through
+    ``supervised_map`` itself).
+    """
+    sweep = supervised_map(fn, cells, jobs=jobs, seed=seed, label=label)
+    ok: Dict = {}
+    failed: Dict[object, str] = {}
+    for key, outcome in zip(keys, sweep.outcomes):
+        if outcome.ok:
+            ok[key] = outcome.result
+        else:
+            failed[key] = outcome.describe()
+    return ok, failed
+
+
+def die_label(key) -> str:
+    """Human name of a sweep key: ('b11', 2) -> 'b11_d2'."""
+    if isinstance(key, tuple) and len(key) == 2:
+        return f"{key[0]}_d{key[1]}"
+    return str(key)
+
+
+def render_failures(failures: Dict[object, str],
+                    label=die_label) -> str:
+    """The failure footer every table renders when cells were lost."""
+    if not failures:
+        return ""
+    lines = [f"!! {len(failures)} cell(s) FAILED — excluded from the "
+             f"table and its averages; rerun (or resume from the "
+             f"checkpoint) to recompute:"]
+    for key in sorted(failures, key=str):
+        lines.append(f"!!   {label(key)}: {failures[key]}")
+    return "\n".join(lines)

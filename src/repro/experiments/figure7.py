@@ -17,12 +17,13 @@ from repro.experiments.common import (
     ExperimentScale,
     MethodSpec,
     dies_for_scale,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
 from repro.experiments.paper_data import FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable
 
 
@@ -44,6 +45,8 @@ class Figure7Row:
 class Figure7Result:
     scale_name: str
     rows: Dict[Tuple[str, int], Figure7Row] = field(default_factory=dict)
+    #: (circuit, die) -> failure description, for cells that didn't survive
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     @property
     def mean_increase_pct(self) -> float:
@@ -66,9 +69,12 @@ class Figure7Result:
         table.add_separator()
         table.add_row(["Average", "", "", "",
                        f"{self.mean_increase_pct:+.2f}%"])
-        return (table.render()
-                + f"\nPaper mean increase: "
-                  f"+{FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT}%")
+        rendered = (table.render()
+                    + f"\nPaper mean increase: "
+                      f"+{FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT}%")
+        if self.failures:
+            rendered += "\n\n" + render_failures(self.failures)
+        return rendered
 
 
 def _die_cell(args: Tuple[str, int, int, ExperimentScale]) -> Figure7Row:
@@ -91,11 +97,11 @@ def run_figure7(scale: Optional[ExperimentScale] = None,
     scale = scale or resolve_scale()
     result = Figure7Result(scale_name=scale.name)
     dies = dies_for_scale(scale)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, dies,
         [(circuit, die, seed, scale) for circuit, die in dies],
-        jobs=jobs, seed=seed)
-    for (circuit, die_index), row in zip(dies, rows):
+        jobs=jobs, seed=seed, label="figure7")
+    for (circuit, die_index), row in rows.items():
         result.rows[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: {row.edges_without} -> "

@@ -20,11 +20,12 @@ from repro.experiments.common import (
     MethodSpec,
     dies_for_scale,
     prepare_die,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_percent
 
 
@@ -46,6 +47,8 @@ class OverheadResult:
     scale_name: str
     scenario_name: str
     rows: Dict[Tuple[str, int], OverheadRow] = field(default_factory=dict)
+    #: (circuit, die) -> failure description, for cells that didn't survive
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     def average(self, attr: str) -> float:
         values = [getattr(r, attr) for r in self.rows.values()]
@@ -74,7 +77,10 @@ class OverheadResult:
             format_percent(self.average("ours_overhead")),
             f"-{format_percent(self.average('savings_vs_dedicated'))}",
         ])
-        return table.render()
+        rendered = table.render()
+        if self.failures:
+            rendered += "\n\n" + render_failures(self.failures)
+        return rendered
 
 
 def _die_cell(args: Tuple[str, int, int, ExperimentScale, str]
@@ -112,12 +118,12 @@ def run_overhead(scale: Optional[ExperimentScale] = None,
     result = OverheadResult(scale_name=scale.name,
                             scenario_name=scenario_name)
     dies = dies_for_scale(scale)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, dies,
         [(circuit, die, seed, scale, scenario_name)
          for circuit, die in dies],
-        jobs=jobs, seed=seed)
-    for (circuit, die_index), row in zip(dies, rows):
+        jobs=jobs, seed=seed, label="overhead")
+    for (circuit, die_index), row in rows.items():
         result.rows[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: ours "

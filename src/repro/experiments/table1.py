@@ -22,12 +22,13 @@ from repro.experiments.common import (
     MethodSpec,
     ORDER_INBOUND_FIRST,
     ORDER_OUTBOUND_FIRST,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
 from repro.experiments.paper_data import TABLE1_PAPER
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_percent
 
 
@@ -42,6 +43,8 @@ class Table1Result:
     scale_name: str
     #: die index -> {"inbound"/"outbound": cell}
     rows: Dict[int, Dict[str, Table1Cell]] = field(default_factory=dict)
+    #: die index -> failure description, for cells that didn't survive
+    failures: Dict[int, str] = field(default_factory=dict)
 
     def render(self) -> str:
         table = AsciiTable(
@@ -65,7 +68,11 @@ class Table1Result:
                 f"{paper['inbound'][0]}%/{paper['inbound'][1]}",
                 f"{paper['outbound'][0]}%/{paper['outbound'][1]}",
             ])
-        return table.render()
+        rendered = table.render()
+        if self.failures:
+            rendered += "\n\n" + render_failures(
+                self.failures, label=lambda die: f"b12_d{die}")
+        return rendered
 
     def larger_set_no_worse(self) -> bool:
         """The paper's takeaway: start from the larger set."""
@@ -107,11 +114,11 @@ def run_table1(scale: Optional[ExperimentScale] = None,
                jobs: Optional[int] = None) -> Table1Result:
     scale = scale or resolve_scale()
     result = Table1Result(scale_name=scale.name)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, range(4),
         [(die_index, seed, scale) for die_index in range(4)],
-        jobs=jobs, seed=seed)
-    for die_index, row in enumerate(rows):
+        jobs=jobs, seed=seed, label="table1")
+    for die_index, row in rows.items():
         result.rows[die_index] = row
         if verbose:
             print(f"  b12_die{die_index}: inbound-first "

@@ -10,11 +10,18 @@ paper does not report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.generator import generate_die
-from repro.bench.itc99 import all_die_profiles
-from repro.experiments.common import DEFAULT_SEED, ExperimentScale, resolve_scale, scale_banner
+from repro.bench.itc99 import DieProfile, all_die_profiles
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentScale,
+    render_failures,
+    resolve_scale,
+    scale_banner,
+    sweep_cells,
+)
 from repro.netlist.topology import combinational_levels
 from repro.util.errors import ReproError
 from repro.util.tables import AsciiTable
@@ -37,6 +44,9 @@ class Table2Row:
 class Table2Result:
     scale_name: str
     rows: List[Table2Row] = field(default_factory=list)
+    #: (circuit, die) -> failure description, for dies that failed to
+    #: generate or diverged from their published characteristics
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     def averages(self) -> Table2Row:
         count = max(1, len(self.rows))
@@ -69,40 +79,54 @@ class Table2Result:
         avg = self.averages()
         table.add_row(["Average", "", avg.scan_ffs, avg.gates, avg.tsvs,
                        avg.inbound, avg.outbound, avg.nets, avg.depth])
-        return table.render()
+        rendered = table.render()
+        if self.failures:
+            rendered += "\n\n" + render_failures(self.failures)
+        return rendered
+
+
+def _die_row(args: Tuple[DieProfile, int]) -> Table2Row:
+    """Generate and verify one die's characteristics (worker process)."""
+    profile, seed = args
+    netlist = generate_die(profile, seed=seed)
+    stats = netlist.stats()
+    if (stats["scan_flip_flops"] != profile.scan_flip_flops
+            or stats["gates"] != profile.gates
+            or stats["inbound_tsvs"] != profile.inbound_tsvs
+            or stats["outbound_tsvs"] != profile.outbound_tsvs):
+        raise ReproError(
+            f"{profile.name}: generated counts diverge from Table II: "
+            f"{stats}"
+        )
+    levels = combinational_levels(netlist)
+    return Table2Row(
+        circuit=profile.circuit,
+        die=profile.die_index,
+        scan_ffs=stats["scan_flip_flops"],
+        gates=stats["gates"],
+        tsvs=stats["inbound_tsvs"] + stats["outbound_tsvs"],
+        inbound=stats["inbound_tsvs"],
+        outbound=stats["outbound_tsvs"],
+        nets=stats["nets"],
+        depth=max(levels.values()) if levels else 0,
+    )
 
 
 def run_table2(scale: Optional[ExperimentScale] = None,
-               seed: int = DEFAULT_SEED, verbose: bool = False
-               ) -> Table2Result:
+               seed: int = DEFAULT_SEED, verbose: bool = False,
+               jobs: Optional[int] = None) -> Table2Result:
     """Generate every in-scale die and verify its Table II counts."""
     scale = scale or resolve_scale()
     result = Table2Result(scale_name=scale.name)
-    for profile in all_die_profiles():
-        if profile.circuit not in scale.circuits:
-            continue
-        netlist = generate_die(profile, seed=seed)
-        stats = netlist.stats()
-        if (stats["scan_flip_flops"] != profile.scan_flip_flops
-                or stats["gates"] != profile.gates
-                or stats["inbound_tsvs"] != profile.inbound_tsvs
-                or stats["outbound_tsvs"] != profile.outbound_tsvs):
-            raise ReproError(
-                f"{profile.name}: generated counts diverge from Table II: "
-                f"{stats}"
-            )
-        levels = combinational_levels(netlist)
-        result.rows.append(Table2Row(
-            circuit=profile.circuit,
-            die=profile.die_index,
-            scan_ffs=stats["scan_flip_flops"],
-            gates=stats["gates"],
-            tsvs=stats["inbound_tsvs"] + stats["outbound_tsvs"],
-            inbound=stats["inbound_tsvs"],
-            outbound=stats["outbound_tsvs"],
-            nets=stats["nets"],
-            depth=max(levels.values()) if levels else 0,
-        ))
+    profiles = [p for p in all_die_profiles()
+                if p.circuit in scale.circuits]
+    rows, result.failures = sweep_cells(
+        _die_row, [(p.circuit, p.die_index) for p in profiles],
+        [(profile, seed) for profile in profiles],
+        jobs=jobs, seed=seed, label="table2")
+    result.rows = [rows[key] for key in
+                   ((p.circuit, p.die_index) for p in profiles)
+                   if key in rows]
     if verbose:
         print(scale_banner(scale))
         print(result.render())

@@ -20,12 +20,13 @@ from repro.experiments.common import (
     ExperimentScale,
     MethodSpec,
     dies_for_scale,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
 from repro.experiments.paper_data import TABLE3_PAPER_SUMMARY
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable
 
 _CONFIG_KEYS = ("agrawal_area", "ours_area", "agrawal_tight", "ours_tight")
@@ -44,6 +45,8 @@ class Table3Result:
     #: (circuit, die) -> config key -> cell
     cells: Dict[Tuple[str, int], Dict[str, Table3Cell]] = field(
         default_factory=dict)
+    #: (circuit, die) -> failure description, for cells that didn't survive
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     # -- aggregates ------------------------------------------------------
     def average(self, key: str, attr: str) -> float:
@@ -110,6 +113,8 @@ class Table3Result:
                          + (f", violations {v['violations']}"
                             if v["violations"] else "")
                          for k, v in TABLE3_PAPER_SUMMARY.items()))
+        if self.failures:
+            lines += ["", render_failures(self.failures)]
         return "\n".join(lines)
 
 
@@ -144,11 +149,11 @@ def run_table3(scale: Optional[ExperimentScale] = None,
     scale = scale or resolve_scale()
     result = Table3Result(scale_name=scale.name)
     dies = dies_for_scale(scale)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, dies,
         [(circuit, die, seed, scale) for circuit, die in dies],
-        jobs=jobs, seed=seed)
-    for (circuit, die_index), row in zip(dies, rows):
+        jobs=jobs, seed=seed, label="table3")
+    for (circuit, die_index), row in rows.items():
         result.cells[(circuit, die_index)] = row
         if verbose:
             cell = row["ours_tight"]

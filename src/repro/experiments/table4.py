@@ -17,12 +17,13 @@ from repro.experiments.common import (
     ExperimentScale,
     MethodSpec,
     dies_for_scale,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
 from repro.experiments.paper_data import TABLE4_PAPER_AVERAGE
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_pair
 
 
@@ -38,6 +39,8 @@ class Table4Result:
     #: (circuit, die) -> method -> cell
     cells: Dict[Tuple[str, int], Dict[str, Table4Cell]] = field(
         default_factory=dict)
+    #: (circuit, die) -> failure description, for cells that didn't survive
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     def average(self, method: str, model: str) -> Tuple[float, float]:
         pairs = [getattr(row[method], model) for row in self.cells.values()]
@@ -80,6 +83,8 @@ class Table4Result:
             f"({paper['ours']['transition'][0]}%, "
             f"{paper['ours']['transition'][1]})"
         )
+        if self.failures:
+            lines += ["", render_failures(self.failures)]
         return "\n".join(lines)
 
 
@@ -107,11 +112,11 @@ def run_table4(scale: Optional[ExperimentScale] = None,
     scale = scale or resolve_scale()
     result = Table4Result(scale_name=scale.name)
     dies = dies_for_scale(scale)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, dies,
         [(circuit, die, seed, scale) for circuit, die in dies],
-        jobs=jobs, seed=seed)
-    for (circuit, die_index), row in zip(dies, rows):
+        jobs=jobs, seed=seed, label="table4")
+    for (circuit, die_index), row in rows.items():
         result.cells[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: "

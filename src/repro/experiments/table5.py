@@ -17,12 +17,13 @@ from repro.experiments.common import (
     ExperimentScale,
     MethodSpec,
     dies_for_scale,
+    render_failures,
     resolve_scale,
     run_cell,
     scale_banner,
+    sweep_cells,
 )
 from repro.experiments.paper_data import TABLE5_PAPER_AVERAGE
-from repro.runtime.parallel import parallel_map
 from repro.util.tables import AsciiTable, format_pair
 
 #: the paper restricts Table V to the three largest circuit families
@@ -43,6 +44,8 @@ class Table5Result:
     #: (circuit, die) -> {"no_overlap"/"overlap": cell}
     cells: Dict[Tuple[str, int], Dict[str, Table5Cell]] = field(
         default_factory=dict)
+    #: (circuit, die) -> failure description, for cells that didn't survive
+    failures: Dict[Tuple[str, int], str] = field(default_factory=dict)
 
     def average(self, key: str, attr: str):
         values = [getattr(row[key], attr) for row in self.cells.values()]
@@ -89,6 +92,8 @@ class Table5Result:
             f"{paper['overlap']['reused']}/{paper['overlap']['additional']} "
             f"(cells {100 * paper['overlap']['additional'] / paper['no_overlap']['additional']:.1f}% of no-overlap)"
         )
+        if self.failures:
+            lines += ["", render_failures(self.failures)]
         return "\n".join(lines)
 
 
@@ -122,11 +127,11 @@ def run_table5(scale: Optional[ExperimentScale] = None,
         # Smoke scale has no b20-22; fall back to whatever is in scope
         # so the machinery still runs end to end.
         dies = dies_for_scale(scale)
-    rows = parallel_map(
-        _die_cell,
+    rows, result.failures = sweep_cells(
+        _die_cell, dies,
         [(circuit, die, seed, scale) for circuit, die in dies],
-        jobs=jobs, seed=seed)
-    for (circuit, die_index), row in zip(dies, rows):
+        jobs=jobs, seed=seed, label="table5")
+    for (circuit, die_index), row in rows.items():
         result.cells[(circuit, die_index)] = row
         if verbose:
             print(f"  {circuit}_die{die_index}: "

@@ -1,11 +1,18 @@
-"""Deterministic parallel experiment runtime.
+"""Deterministic, supervised parallel experiment runtime.
 
-Three orthogonal capabilities behind one import:
+Five orthogonal capabilities behind one import:
 
-* :mod:`repro.runtime.parallel` — ordered process-pool map over
-  experiment cells with per-cell seed derivation (serial ≡ parallel),
+* :mod:`repro.runtime.supervisor` — supervised per-cell execution with
+  crash isolation, wall-clock timeouts, bounded same-seed retry and
+  checkpoint/resume (every cell comes back as a
+  :class:`~repro.runtime.supervisor.CellOutcome`),
+* :mod:`repro.runtime.parallel` — ordered strict map over experiment
+  cells with per-cell seed derivation (serial ≡ parallel),
 * :mod:`repro.runtime.cache` — content-addressed on-disk cache of WCM
-  flow summaries and ATPG results,
+  flow summaries and ATPG results, with corrupt-entry quarantine,
+* :mod:`repro.runtime.chaos` — deterministic fault injection (worker
+  crashes, cell hangs, malformed netlists, cache corruption) used to
+  validate the failure semantics above,
 * :mod:`repro.runtime.instrument` — opt-in per-phase timers and
   counters threaded through the flow, partitioner and ATPG engine.
 
@@ -20,6 +27,7 @@ importing the cache eagerly here would make that cycle real. Cache
 names are re-exported lazily via module ``__getattr__``.
 """
 
+from repro.runtime.chaos import ChaosPlan, ChaosSpec
 from repro.runtime.config import (
     RuntimeConfig,
     configure,
@@ -28,6 +36,12 @@ from repro.runtime.config import (
 )
 from repro.runtime.instrument import RunReport, collect, count, phase
 from repro.runtime.parallel import cell_seed, parallel_map
+from repro.runtime.supervisor import (
+    CellOutcome,
+    SupervisorPolicy,
+    SweepResult,
+    supervised_map,
+)
 
 _CACHE_EXPORTS = (
     "CACHE_SCHEMA_VERSION",
@@ -41,8 +55,13 @@ _CACHE_EXPORTS = (
 )
 
 __all__ = [
+    "CellOutcome",
+    "ChaosPlan",
+    "ChaosSpec",
     "RunReport",
     "RuntimeConfig",
+    "SupervisorPolicy",
+    "SweepResult",
     "cell_seed",
     "collect",
     "configure",
@@ -51,6 +70,7 @@ __all__ = [
     "parallel_map",
     "phase",
     "resolve_jobs",
+    "supervised_map",
     *_CACHE_EXPORTS,
 ]
 

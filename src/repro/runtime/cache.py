@@ -222,10 +222,22 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
+
+
+#: subdirectory corrupt entries are moved into (never read back)
+QUARANTINE_DIR = "quarantine"
 
 
 class ResultCache:
-    """One cache directory of JSON entries, addressed by key."""
+    """One cache directory of JSON entries, addressed by key.
+
+    A shared cache directory outlives any single run, so a corrupt or
+    truncated entry (torn write on a crashed machine, disk hiccup,
+    stray editor) must never abort a sweep: unreadable files — and
+    files whose payload no longer deserializes — are moved into a
+    ``quarantine/`` sibling and the cell recomputes as a plain miss.
+    """
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
@@ -237,13 +249,44 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        with handle:
+            try:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+            except ValueError:
+                # entry exists but is not JSON: torn write or corruption
+                self.quarantine(key)
+                self.stats.misses += 1
+                return None
+        if not isinstance(payload, dict):
+            self.quarantine(key)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return payload
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move a bad entry aside so the cell recomputes; returns the
+        quarantined path (``None`` if the file vanished meanwhile)."""
+        path = self.path_for(key)
+        destination_dir = self.root / QUARANTINE_DIR
+        destination = destination_dir / path.name
+        try:
+            destination_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            # cross-device, permissions, or already gone: last resort is
+            # deleting it, so the poisoned entry can't resurface
+            try:
+                os.unlink(path)
+            except OSError:
+                return None
+            destination = None
+        self.stats.quarantined += 1
+        return destination
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         path = self.path_for(key)
@@ -264,7 +307,8 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        # two-hex-digit shards only: quarantined entries don't count
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))
 
 
 #: one ResultCache per root, so hit/miss stats accumulate per process

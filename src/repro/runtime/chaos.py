@@ -1,0 +1,160 @@
+"""Deterministic fault injection for the supervised runtime.
+
+The supervisor's failure semantics (crash isolation, timeouts, retry,
+quarantine, resume) are only trustworthy if they are exercised against
+*real* failures, reproducibly. This module injects them on demand:
+
+* ``crash``   — the worker process dies via ``os._exit`` (simulating a
+  segfaulting native kernel or an OOM kill),
+* ``hang``    — the cell sleeps far past any sane budget (simulating a
+  wedged PODEM search), to be killed by the per-cell timeout,
+* ``raise``   — the cell raises :class:`ChaosError`,
+* ``netlist`` — the cell raises :class:`~repro.util.errors.NetlistError`
+  (simulating a malformed generated netlist reaching the flow).
+
+A :class:`ChaosPlan` targets cells by *sweep index* and is applied by
+the supervisor in the worker, after the per-cell reseed and before the
+cell function runs — so a surviving or retried cell draws exactly the
+random stream a clean run would. Injection is attempt-bounded
+(``attempts=1`` injures only the first try, letting the retry path be
+validated end to end), and plans travel to workers with the rest of
+the runtime config, so ``--jobs N`` sweeps are injured deterministically
+regardless of which worker picks a cell up.
+
+Cache corruption — the fourth defect class — does not involve workers;
+:func:`corrupt_cache_entry` deterministically mangles an on-disk entry
+so the quarantine path can be asserted.
+
+Plans are installed programmatically (``configure(chaos=plan)``) or via
+``REPRO_CHAOS`` as JSON, e.g.::
+
+    REPRO_CHAOS='{"cells": {"1": {"action": "crash"}},
+                  "hang_seconds": 600}'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.errors import ConfigError, NetlistError, ReproError
+
+#: recognised injection actions
+ACTIONS = ("crash", "hang", "raise", "netlist")
+
+
+class ChaosError(ReproError):
+    """An injected (deliberate) cell failure."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One cell's injection: what to do and for how many attempts."""
+
+    action: str
+    #: injure this many attempts; later attempts run clean (so
+    #: ``attempts=1`` with one retry must reproduce a clean cell)
+    attempts: int = 1
+    message: str = "chaos: injected failure"
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {ACTIONS}")
+        if self.attempts < 1:
+            raise ConfigError(
+                f"chaos attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic injection plan for one sweep, keyed by cell index."""
+
+    cells: Dict[int, ChaosSpec] = field(default_factory=dict)
+    #: how long a "hang" sleeps; keep it far above the cell timeout
+    hang_seconds: float = 3600.0
+    #: exit status a "crash" dies with (139 looks like a SIGSEGV)
+    crash_code: int = 139
+
+    def spec_for(self, index: int, attempt: int) -> Optional[ChaosSpec]:
+        spec = self.cells.get(index)
+        if spec is None or attempt > spec.attempts:
+            return None
+        return spec
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Injure cell *index* on *attempt* per the plan (worker-side)."""
+        spec = self.spec_for(index, attempt)
+        if spec is None:
+            return
+        if spec.action == "crash":
+            os._exit(self.crash_code)
+        if spec.action == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        if spec.action == "netlist":
+            raise NetlistError("chaos: malformed netlist")
+        raise ChaosError(spec.message)
+
+
+def plan_from_json(raw: str) -> ChaosPlan:
+    """Parse a ``REPRO_CHAOS`` JSON payload into a plan."""
+    try:
+        data = json.loads(raw)
+    except ValueError:
+        raise ConfigError(f"REPRO_CHAOS is not valid JSON: {raw!r}"
+                          ) from None
+    if not isinstance(data, dict):
+        raise ConfigError("REPRO_CHAOS must be a JSON object")
+    cells: Dict[int, ChaosSpec] = {}
+    for key, spec in dict(data.get("cells", {})).items():
+        try:
+            index = int(key)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_CHAOS cell keys must be integers, got {key!r}"
+            ) from None
+        cells[index] = ChaosSpec(
+            action=spec.get("action", "raise"),
+            attempts=int(spec.get("attempts", 1)),
+            message=spec.get("message", "chaos: injected failure"),
+        )
+    return ChaosPlan(
+        cells=cells,
+        hang_seconds=float(data.get("hang_seconds", 3600.0)),
+        crash_code=int(data.get("crash_code", 139)),
+    )
+
+
+def corrupt_cache_entry(root: os.PathLike, nth: int = 0,
+                        mode: str = "truncate") -> str:
+    """Deterministically corrupt the *nth* cache entry under *root*.
+
+    ``truncate`` chops the JSON mid-stream (a crash during a write on a
+    filesystem without atomic rename); ``garbage`` overwrites it with
+    non-JSON bytes; ``empty`` leaves a zero-byte file; ``misshape``
+    keeps valid JSON but drops every key the loader needs. Returns the
+    corrupted file's path.
+    """
+    from pathlib import Path
+
+    entries = sorted(Path(root).glob("[0-9a-f][0-9a-f]/*.json"))
+    if not entries:
+        raise FileNotFoundError(f"no cache entries under {root}")
+    target = entries[nth % len(entries)]
+    if mode == "truncate":
+        data = target.read_bytes()
+        target.write_bytes(data[:max(1, len(data) // 2)])
+    elif mode == "garbage":
+        target.write_bytes(b"\x00\xffnot json\xfe")
+    elif mode == "empty":
+        target.write_bytes(b"")
+    elif mode == "misshape":
+        target.write_text('{"schema": "wrong-shape"}', encoding="utf-8")
+    else:
+        raise ConfigError(f"unknown corruption mode {mode!r}")
+    return str(target)

@@ -1,17 +1,22 @@
-"""Deterministic process-pool map over experiment cells.
+"""Deterministic ordered map over experiment cells (legacy strict API).
 
 The experiment matrix is embarrassingly parallel: every (die, method,
-scenario) cell is an independent computation (the same structure
-wrapper/TAM co-optimization treats as independently schedulable
-per-core test runs). :func:`parallel_map` fans cells out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and collects results
-**in submission order**, so a driver's table is byte-identical whether
-it ran on one worker or sixteen.
+scenario) cell is an independent computation. :func:`parallel_map`
+fans cells out over worker processes and collects results **in
+submission order**, so a driver's table is byte-identical whether it
+ran on one worker or sixteen.
+
+Since the supervised runtime landed, this module is a thin strict
+facade over :func:`repro.runtime.supervisor.supervised_map`: the same
+worker management, per-cell reseeding and (when configured) timeouts
+and retries — but any cell that terminally fails raises
+:class:`~repro.util.errors.RuntimeExecutionError` instead of coming
+back as a marked outcome. Drivers that want partial results use
+``supervised_map`` directly.
 
 Determinism contract:
 
-* results come back ordered (``Executor.map`` semantics), never in
-  completion order;
+* results come back ordered, never in completion order;
 * before each cell — in the serial path *and* in workers — the global
   ``random`` module is re-seeded from
   :func:`repro.util.rng.derive_seed` of the root seed and the cell
@@ -26,16 +31,10 @@ Workers must be given a module-level function and picklable cells.
 
 from __future__ import annotations
 
-import random
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, TypeVar
+import dataclasses
+from typing import Callable, Iterable, List, Optional, TypeVar
 
-from repro.runtime.config import (
-    RuntimeConfig,
-    apply_config,
-    current_config,
-    resolve_jobs,
-)
+from repro.runtime.supervisor import SupervisorPolicy, supervised_map
 from repro.util.rng import derive_seed
 
 Cell = TypeVar("Cell")
@@ -51,24 +50,6 @@ def cell_seed(root: int, *labels: object) -> int:
     return derive_seed(root, _CELL_STREAM, *labels)
 
 
-# Worker-side state, set by the pool initializer.
-_WORKER_FN: Optional[Callable] = None
-_WORKER_SEED: int = 0
-
-
-def _init_worker(config: RuntimeConfig, fn: Callable, seed: int) -> None:
-    global _WORKER_FN, _WORKER_SEED
-    apply_config(config)
-    _WORKER_FN = fn
-    _WORKER_SEED = seed
-
-
-def _run_cell(indexed_cell: "tuple[int, Any]") -> Any:
-    index, cell = indexed_cell
-    random.seed(cell_seed(_WORKER_SEED, index))
-    return _WORKER_FN(cell)
-
-
 def parallel_map(fn: Callable[[Cell], Result], cells: Iterable[Cell],
                  jobs: Optional[int] = None, seed: int = 0
                  ) -> List[Result]:
@@ -77,19 +58,11 @@ def parallel_map(fn: Callable[[Cell], Result], cells: Iterable[Cell],
     ``jobs`` falls back to the runtime config (default 1 = serial,
     in-process). The serial path applies the same per-cell reseeding as
     the workers, so serial and parallel runs are interchangeable.
+    Raises on the first terminal cell failure (strict semantics);
+    checkpointing is the supervised drivers' concern, not this map's.
     """
-    cells = list(cells)
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(cells) <= 1:
-        results: List[Result] = []
-        for index, cell in enumerate(cells):
-            random.seed(cell_seed(seed, index))
-            results.append(fn(cell))
-        return results
-
-    config = current_config()
-    with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)),
-            initializer=_init_worker,
-            initargs=(config, fn, seed)) as pool:
-        return list(pool.map(_run_cell, enumerate(cells)))
+    policy = dataclasses.replace(SupervisorPolicy.from_config(),
+                                 strict=True, checkpoint_dir=None)
+    sweep = supervised_map(fn, cells, jobs=jobs, seed=seed,
+                           label="parallel_map", policy=policy)
+    return sweep.results_or_raise()

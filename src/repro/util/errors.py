@@ -33,3 +33,14 @@ class PartitionError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid WCM configuration (e.g. negative thresholds)."""
+
+
+class RuntimeExecutionError(ReproError):
+    """A supervised experiment sweep could not complete a cell (worker
+    crash, repeated failure, broken worker pool) under a strict policy,
+    or the pool itself became unusable."""
+
+
+class CellTimeoutError(RuntimeExecutionError):
+    """One experiment cell exceeded its wall-clock budget and its
+    worker was killed."""

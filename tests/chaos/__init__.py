@@ -1,0 +1,1 @@
+"""Chaos-injection suite: the supervised runtime vs. real failures."""

@@ -1,5 +1,7 @@
 """Shared fixtures: small dies and prepared problems, built once."""
 
+import dataclasses
+
 import pytest
 
 from repro.runtime.config import current_config
@@ -8,12 +10,14 @@ from repro.runtime.config import current_config
 @pytest.fixture(autouse=True)
 def _isolate_runtime_config():
     """Restore the process-wide runtime config after every test, so a
-    test that configures jobs/cache (directly or through the CLI) can't
-    leak into its neighbours."""
+    test that configures jobs/cache/timeouts/chaos (directly or through
+    the CLI) can't leak into its neighbours."""
     config = current_config()
-    saved = (config.jobs, config.cache_dir, config.no_cache)
+    saved = {f.name: getattr(config, f.name)
+             for f in dataclasses.fields(config)}
     yield
-    config.jobs, config.cache_dir, config.no_cache = saved
+    for name, value in saved.items():
+        setattr(config, name, value)
 
 from repro.bench.generator import generate_die
 from repro.bench.itc99 import die_profile

@@ -115,3 +115,27 @@ class TestTransitionEngine:
         stuck = run_stuck_at_atpg(small_test_view, config)
         transition = run_transition_atpg(small_test_view, config)
         assert transition.raw_coverage <= stuck.raw_coverage + 0.05
+
+
+class TestAtpgConfigValidation:
+    def test_defaults_are_valid(self):
+        AtpgConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("block_width", 0),
+        ("block_width", -32),
+        ("max_random_blocks", -1),
+        ("stop_after_idle_blocks", -1),
+        ("backtrack_limit", -5),
+        ("podem_fault_limit", -1),
+        ("fault_sample", 0),
+        ("fault_sample", -100),
+    ])
+    def test_bad_field_raises_config_error(self, field, value):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=field):
+            AtpgConfig(**{field: value})
+
+    def test_none_sentinels_stay_valid(self):
+        AtpgConfig(podem_fault_limit=None, fault_sample=None)

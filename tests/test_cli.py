@@ -53,6 +53,24 @@ class TestCli:
         assert main(["--no-cache", "--scale", "smoke", "table2"]) == 0
         assert current_config().no_cache
 
+    def test_supervision_flags_configure(self, tmp_path, capsys):
+        from repro.runtime import current_config
+        assert main(["table2", "--scale", "smoke", "--timeout", "30",
+                     "--retries", "2", "--strict",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        config = current_config()
+        assert config.timeout_s == 30.0
+        assert config.retries == 2
+        assert config.strict
+        assert config.checkpoint_dir == str(tmp_path)
+        # a zero timeout means "no budget"
+        assert main(["table2", "--scale", "smoke", "--timeout", "0"]) == 0
+        assert current_config().timeout_s is None
+
+    def test_negative_timeout_exits(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--scale", "smoke", "--timeout", "-1"])
+
     def test_tables_alias(self, capsys, monkeypatch):
         import repro.cli as cli
         monkeypatch.setattr(cli, "_EXPORT_ORDER", ("table2",))

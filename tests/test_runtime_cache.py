@@ -95,6 +95,38 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+        assert len(cache) == 0  # the bad entry no longer counts
+        assert list((tmp_path / "quarantine").glob("*.json"))
+        # the slot is free again: a recompute repopulates it
+        cache.put(key, {"x": 2})
+        assert cache.get(key) == {"x": 2}
+
+    def test_misshapen_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]))  # valid JSON, wrong shape
+        assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+
+    def test_explicit_quarantine_of_undecodable_payload(self, tmp_path):
+        # run_cell quarantines entries whose JSON parses but whose
+        # payload no longer decodes (stale schema survivor)
+        cache = ResultCache(tmp_path)
+        key = "ab" + "1" * 62
+        cache.put(key, {"schema": "wrong-shape"})
+        assert cache.quarantine(key) is not None
+        assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+
 
 class TestPayloadRoundTrips:
     def test_wcm_summary(self, cache):

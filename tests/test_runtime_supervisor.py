@@ -1,0 +1,276 @@
+"""Tests for the supervised experiment runtime.
+
+Crash isolation, per-cell timeouts, same-seed retry determinism and
+checkpoint/resume, on plain picklable cell functions (the chaos suite
+in tests/chaos/ exercises the same machinery through a real driver).
+"""
+
+import os
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.runtime.supervisor import (
+    FAILED,
+    OK,
+    RETRIED,
+    TIMEOUT,
+    CellOutcome,
+    SupervisorPolicy,
+    supervised_map,
+    sweep_fingerprint,
+)
+from repro.util.errors import (
+    CellTimeoutError,
+    RuntimeExecutionError,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _draw(_cell):
+    return random.random()
+
+
+def _boom(value):
+    if value == 3:
+        raise ValueError("cell 3 is cursed")
+    return value * value
+
+
+def _exit_cell(value):
+    if value == 2:
+        os._exit(139)
+    return value * value
+
+
+def _sleep_cell(value):
+    if value == 1:
+        time.sleep(60)
+    return value * value
+
+
+class _Recorder:
+    """Cell fn that leaves a marker file per computed cell."""
+
+    def __init__(self, root):
+        self.root = str(root)
+
+    def __call__(self, value):
+        marker = pathlib.Path(self.root) / f"cell-{value}.txt"
+        marker.write_text(str(random.random()))
+        return value * value
+
+
+class TestHappyPath:
+    def test_serial_and_parallel_outcomes_agree(self):
+        cells = list(range(8))
+        serial = supervised_map(_square, cells, jobs=1)
+        parallel = supervised_map(_square, cells, jobs=3)
+        assert serial.results == parallel.results == \
+            [v * v for v in cells]
+        assert all(o.status == OK for o in parallel.outcomes)
+        assert not parallel.failures
+
+    def test_per_cell_seed_matches_serial(self):
+        serial = supervised_map(_draw, range(6), jobs=1, seed=11)
+        parallel = supervised_map(_draw, range(6), jobs=2, seed=11)
+        assert serial.results == parallel.results
+        assert len(set(serial.results)) == 6
+
+    def test_results_or_raise_passthrough(self):
+        sweep = supervised_map(_square, [2, 4], jobs=1)
+        assert sweep.results_or_raise() == [4, 16]
+
+
+class TestCrashIsolation:
+    def test_exception_becomes_failed_outcome(self):
+        sweep = supervised_map(_boom, range(6), jobs=2)
+        bad = sweep.outcomes[3]
+        assert bad.status == FAILED and not bad.ok
+        assert "cursed" in bad.error
+        assert bad.result is None
+        good = [o for i, o in enumerate(sweep.outcomes) if i != 3]
+        assert [o.result for o in good] == [0, 1, 4, 16, 25]
+
+    def test_worker_crash_is_contained(self):
+        # os._exit would kill a serial run; the supervisor must force
+        # process isolation and report the exit code.
+        policy = SupervisorPolicy(timeout_s=60.0)
+        sweep = supervised_map(_exit_cell, range(5), jobs=2,
+                               policy=policy)
+        crashed = sweep.outcomes[2]
+        assert crashed.status == FAILED
+        assert "crashed" in crashed.error
+        survivors = [o.result for i, o in enumerate(sweep.outcomes)
+                     if i != 2]
+        assert survivors == [0, 1, 9, 16]
+
+    def test_crash_survivors_match_clean_run(self):
+        clean = supervised_map(_draw, range(5), jobs=1, seed=5)
+
+        policy = SupervisorPolicy(timeout_s=60.0)
+        injured = supervised_map(_mixed_crash_draw, range(5), jobs=2,
+                                 seed=5, policy=policy)
+        assert injured.outcomes[2].status == FAILED
+        for index in (0, 1, 3, 4):
+            assert injured.outcomes[index].result == \
+                clean.outcomes[index].result
+
+
+def _mixed_crash_draw(value):
+    if value == 2:
+        os._exit(1)
+    return random.random()
+
+
+class TestTimeout:
+    def test_hung_cell_is_killed(self):
+        policy = SupervisorPolicy(timeout_s=2.0)
+        started = time.monotonic()
+        sweep = supervised_map(_sleep_cell, range(4), jobs=2,
+                               policy=policy)
+        elapsed = time.monotonic() - started
+        hung = sweep.outcomes[1]
+        assert hung.status == TIMEOUT and not hung.ok
+        assert "wall-clock" in hung.error
+        assert elapsed < 30  # nowhere near the 60s sleep
+        survivors = [o.result for i, o in enumerate(sweep.outcomes)
+                     if i != 1]
+        assert survivors == [0, 4, 9]
+
+    def test_strict_timeout_raises_cell_timeout_error(self):
+        policy = SupervisorPolicy(timeout_s=2.0, strict=True)
+        with pytest.raises(CellTimeoutError):
+            supervised_map(_sleep_cell, range(4), jobs=2, policy=policy)
+
+
+class TestRetries:
+    def test_retried_cell_is_byte_identical(self):
+        from repro.runtime.chaos import ChaosPlan, ChaosSpec
+
+        clean = supervised_map(_draw, range(5), jobs=1, seed=9)
+        plan = ChaosPlan(cells={2: ChaosSpec("raise", attempts=1)})
+        policy = SupervisorPolicy(retries=1, chaos=plan)
+        retried = supervised_map(_draw, range(5), jobs=2, seed=9,
+                                 policy=policy)
+        assert retried.outcomes[2].status == RETRIED
+        assert retried.outcomes[2].ok
+        assert retried.outcomes[2].attempts == 2
+        assert retried.results == clean.results
+
+    def test_retries_exhausted_marks_failed(self):
+        from repro.runtime.chaos import ChaosPlan, ChaosSpec
+
+        plan = ChaosPlan(cells={1: ChaosSpec("raise", attempts=99)})
+        policy = SupervisorPolicy(retries=2, chaos=plan)
+        sweep = supervised_map(_square, range(3), jobs=2, policy=policy)
+        assert sweep.outcomes[1].status == FAILED
+        assert sweep.outcomes[1].attempts == 3
+
+    def test_strict_failure_raises_with_cause(self):
+        policy = SupervisorPolicy(strict=True)
+        with pytest.raises(RuntimeExecutionError) as excinfo:
+            supervised_map(_boom, range(6), jobs=2, policy=policy)
+        assert "cell 3" in str(excinfo.value)
+
+
+class TestCheckpoint:
+    def test_resume_recomputes_only_missing_cells(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        policy = SupervisorPolicy(checkpoint_dir=str(tmp_path / "ckpt"))
+        fn = _Recorder(work)
+        first = supervised_map(fn, range(5), jobs=1, seed=3,
+                               policy=policy)
+        assert len(list(work.glob("cell-*.txt"))) == 5
+
+        # Simulate the interruption: drop the journal entries for the
+        # last two cells, then resume.
+        ckpt_files = list((tmp_path / "ckpt").glob("*.ckpt"))
+        assert len(ckpt_files) == 1
+        _truncate_checkpoint(ckpt_files[0], keep=3)
+        for marker in work.glob("cell-*.txt"):
+            marker.unlink()
+
+        second = supervised_map(fn, range(5), jobs=1, seed=3,
+                                policy=policy)
+        recomputed = sorted(p.name for p in work.glob("cell-*.txt"))
+        assert recomputed == ["cell-3.txt", "cell-4.txt"]
+        assert [o.from_checkpoint for o in second.outcomes] == \
+            [True, True, True, False, False]
+        assert second.results == first.results
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path):
+        policy = SupervisorPolicy(checkpoint_dir=str(tmp_path))
+        first = supervised_map(_boom, range(5), jobs=1, policy=policy)
+        assert first.outcomes[3].status == FAILED
+        second = supervised_map(_boom, range(5), jobs=1, policy=policy)
+        assert second.outcomes[3].status == FAILED
+        assert not second.outcomes[3].from_checkpoint
+        assert [o.from_checkpoint for i, o in
+                enumerate(second.outcomes) if i != 3] == [True] * 4
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        policy = SupervisorPolicy(checkpoint_dir=str(tmp_path))
+        supervised_map(_square, range(4), jobs=1, seed=1, policy=policy)
+        ckpt = next(tmp_path.glob("*.ckpt"))
+        # Tear the final record mid-frame.
+        data = ckpt.read_bytes()
+        ckpt.write_bytes(data[:-3])
+        sweep = supervised_map(_square, range(4), jobs=1, seed=1,
+                               policy=policy)
+        assert sweep.results == [0, 1, 4, 9]
+        flags = [o.from_checkpoint for o in sweep.outcomes]
+        assert flags.count(True) == 3  # torn record recomputed
+
+    def test_different_sweep_does_not_reuse_checkpoint(self, tmp_path):
+        policy = SupervisorPolicy(checkpoint_dir=str(tmp_path))
+        supervised_map(_square, range(4), jobs=1, seed=1, policy=policy)
+        other = supervised_map(_square, range(4), jobs=1, seed=2,
+                               policy=policy)
+        assert not any(o.from_checkpoint for o in other.outcomes)
+
+    def test_fingerprint_is_stable(self):
+        cells = [("b11", 0), ("b11", 1)]
+        assert sweep_fingerprint("t", 1, cells) == \
+            sweep_fingerprint("t", 1, cells)
+        assert sweep_fingerprint("t", 1, cells) != \
+            sweep_fingerprint("t", 2, cells)
+
+
+def _truncate_checkpoint(path, keep):
+    """Drop all but the first ``keep`` result records from a journal
+    (magic line and header frame preserved), as if the sweep had been
+    killed after completing ``keep`` cells."""
+    from repro.runtime.supervisor import _LEN, _MAGIC
+
+    data = path.read_bytes()
+    assert data.startswith(_MAGIC)
+
+    def frame_end(pos):
+        (length,) = _LEN.unpack(data[pos:pos + _LEN.size])
+        return pos + _LEN.size + length
+
+    pos = frame_end(len(_MAGIC))  # header frame
+    for _ in range(keep):
+        pos = frame_end(pos)
+    path.write_bytes(data[:pos])
+
+
+class TestOutcomeApi:
+    def test_describe_mentions_status_and_attempts(self):
+        outcome = CellOutcome(index=4, status=FAILED,
+                              error="ValueError: nope", attempts=2)
+        text = outcome.describe()
+        assert "failed" in text and "2" in text and "nope" in text
+
+    def test_ok_property(self):
+        assert CellOutcome(0, OK).ok
+        assert CellOutcome(0, RETRIED).ok
+        assert not CellOutcome(0, FAILED).ok
+        assert not CellOutcome(0, TIMEOUT).ok
