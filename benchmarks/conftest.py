@@ -15,13 +15,12 @@ persistent result cache, so a repeated sweep replays from disk. Both
 are byte-transparent: the regenerated tables are identical either way.
 """
 
-import json
 import os
 
 import pytest
 
 from repro.experiments.common import SCALES, resolve_scale
-from repro.runtime import configure
+from repro.runtime import configure, trace
 
 
 @pytest.fixture(scope="session")
@@ -66,10 +65,15 @@ def pytest_sessionfinish(session, exitstatus):
     if not kernels:
         return
     path = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
-    with open(path, "w") as handle:
-        json.dump(kernels, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    trace.write_bench_json(path, kernels)
     print(f"\n[kernel timings exported to {path}]")
+    tracer = trace.active()
+    if tracer is not None:
+        payload = trace.build_manifest("bench_kernels", timings=kernels,
+                                       metrics=tracer.metrics)
+        manifest_path = trace.write_manifest(
+            tracer.trace_dir / "manifest-bench_kernels.json", payload)
+        print(f"[bench manifest -> {manifest_path}]")
 
 
 @pytest.fixture

@@ -10,7 +10,13 @@ Commands:
   head-to-head (plus ``--atpg`` for coverage, ``--area`` for um²),
 * ``profile <circuit> <die>`` — run both methods instrumented and
   print per-phase wall-clock timers and work counters,
-* ``export <path>`` — write every table as markdown into a results file.
+* ``export <path>`` — write every table as markdown into a results file,
+* ``trace show <manifest>`` — render a run manifest (counters,
+  histograms, span timings),
+* ``trace diff <golden> <candidate>`` — compare two run manifests
+  (identity sections exactly, timings within a tolerance),
+* ``bench gate <candidate>`` — accept/reject a manifest (or raw
+  ``BENCH_*.json``) against a golden one; exit 1 on regression (CI).
 
 Runtime flags (valid before or after the subcommand):
 
@@ -28,6 +34,9 @@ Runtime flags (valid before or after the subcommand):
   the table with the survivors.
 * ``--checkpoint-dir PATH`` — journal completed cells so an
   interrupted sweep resumes where it left off.
+* ``--trace-dir PATH`` — stream a structured JSONL event trail (spans,
+  metrics) to PATH and write a fingerprinted run manifest per driver
+  (``$REPRO_TRACE_DIR`` is the env equivalent).
 
 Exit status: 0 when every cell succeeded, 1 when a table rendered with
 failed cells excluded, 2 when a strict sweep aborted.
@@ -36,6 +45,7 @@ failed cells excluded, 2 when a strict sweep aborted.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -70,15 +80,25 @@ _EXPORT_ORDER = ("table2", "table1", "table3", "table4", "table5",
 
 
 def _run_driver(name: str, scale_name: Optional[str],
-                verbose: bool) -> int:
+                verbose: bool, seed: Optional[int] = None) -> int:
     """Regenerate one artifact; returns the number of failed cells."""
+    from repro.experiments.common import DEFAULT_SEED, driver_manifest
+    from repro.runtime import trace
+
     scale = resolve_scale(scale_name)
     print(scale_banner(scale))
+    seed = DEFAULT_SEED if seed is None else seed
     started = time.time()
-    result = _DRIVERS[name](scale, verbose=verbose)
+    result = _DRIVERS[name](scale, seed=seed, verbose=verbose)
     rendered = result.render()
     print(rendered)
     print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+    tracer = trace.active()
+    if tracer is not None:
+        payload = driver_manifest(name, result, scale, seed)
+        path = trace.write_manifest(
+            tracer.trace_dir / f"manifest-{name}.json", payload)
+        print(f"[manifest {payload['fingerprint'][:12]} -> {path}]")
     return len(getattr(result, "failures", ()))
 
 
@@ -218,7 +238,46 @@ def _common_options() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="journal completed cells so interrupted "
                              "sweeps resume")
+    common.add_argument("--trace-dir", default=argparse.SUPPRESS,
+                        metavar="PATH",
+                        help="stream structured trace events and run "
+                             "manifests to PATH")
     return common
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime import trace
+
+    if args.action == "show":
+        payload = trace.load_manifest(args.paths[0])
+        print(trace.render_manifest(payload))
+        return 0
+    # diff
+    if len(args.paths) != 2:
+        print("trace diff needs exactly two manifests: GOLDEN CANDIDATE",
+              file=sys.stderr)
+        return 2
+    golden = trace.load_manifest(args.paths[0])
+    candidate = trace.load_manifest(args.paths[1])
+    problems = trace.diff_manifests(golden, candidate,
+                                    tolerance_pct=args.tolerance)
+    if problems:
+        print(f"{len(problems)} difference(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("manifests agree")
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.runtime import trace
+
+    ok, lines = trace.gate(args.candidate, args.golden,
+                           tolerance_pct=args.tolerance)
+    for line in lines:
+        print(line)
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -256,6 +315,32 @@ def main(argv=None) -> int:
                                    help="write all tables to markdown")
     export_parser.add_argument("path")
 
+    trace_parser = sub.add_parser(
+        "trace", parents=[common],
+        help="inspect or compare run manifests")
+    trace_parser.add_argument("action", choices=("show", "diff"))
+    trace_parser.add_argument("paths", nargs="+", metavar="MANIFEST")
+    trace_parser.add_argument("--tolerance", type=float, default=10.0,
+                              metavar="PCT",
+                              help="allowed timing regression percent "
+                                   "(diff; default 10)")
+
+    bench_parser = sub.add_parser(
+        "bench", parents=[common],
+        help="gate a run manifest against a golden baseline")
+    bench_parser.add_argument("action", choices=("gate",))
+    bench_parser.add_argument("candidate", metavar="CANDIDATE")
+    bench_parser.add_argument("--golden",
+                              default="benchmarks/BENCH_kernels.json",
+                              metavar="PATH",
+                              help="golden manifest or BENCH_*.json "
+                                   "(default benchmarks/BENCH_kernels"
+                                   ".json)")
+    bench_parser.add_argument("--tolerance", type=float, default=10.0,
+                              metavar="PCT",
+                              help="allowed timing regression percent "
+                                   "(default 10)")
+
     args = parser.parse_args(argv)
     try:
         configure(jobs=getattr(args, "jobs", None),
@@ -264,15 +349,18 @@ def main(argv=None) -> int:
                   timeout_s=getattr(args, "timeout", None),
                   retries=getattr(args, "retries", None),
                   strict=getattr(args, "strict", None),
-                  checkpoint_dir=getattr(args, "checkpoint_dir", None))
+                  checkpoint_dir=getattr(args, "checkpoint_dir", None),
+                  trace_dir=getattr(args, "trace_dir", None))
     except ConfigError as exc:
         parser.error(str(exc))
 
     scale_name = getattr(args, "scale", None)
     verbose = getattr(args, "verbose", False)
+    seed = getattr(args, "seed", None)
     try:
         if args.command in _DRIVERS:
-            failures = _run_driver(args.command, scale_name, verbose)
+            failures = _run_driver(args.command, scale_name, verbose,
+                                   seed=seed)
             if failures:
                 print(f"{failures} cell(s) failed; table rendered "
                       f"without them", file=sys.stderr)
@@ -280,7 +368,8 @@ def main(argv=None) -> int:
         if args.command in ("all-tables", "tables"):
             failures = 0
             for name in _EXPORT_ORDER:
-                failures += _run_driver(name, scale_name, verbose)
+                failures += _run_driver(name, scale_name, verbose,
+                                        seed=seed)
             if failures:
                 print(f"{failures} cell(s) failed across the sweep",
                       file=sys.stderr)
@@ -291,9 +380,19 @@ def main(argv=None) -> int:
             return _cmd_profile(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "bench":
+            return _cmd_bench_gate(args)
     except RuntimeExecutionError as exc:
         print(f"sweep aborted: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error. Detach
+        # stdout so interpreter shutdown doesn't retry the flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.error(f"unknown command {args.command}")
     return 2
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.graph import WcmGraph
 from repro.core.timing_model import CliqueTimingState, ReuseTimingModel
 from repro.netlist.core import PortKind
-from repro.runtime import instrument
+from repro.runtime import instrument, trace
 
 
 @dataclass
@@ -173,6 +173,9 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
     instrument.count("clique.merges", merges)
     instrument.count("clique.rejected_merges", rejected)
     instrument.count("clique.singleton_rescues", rescued)
+    if trace.active() is not None:
+        for clique in cliques:
+            trace.observe("clique.size", len(clique.tsvs))
 
     return CliquePartition(kind=graph.kind, cliques=cliques,
                            rejected_merges=rejected, merges=merges)

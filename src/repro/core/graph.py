@@ -29,7 +29,7 @@ from repro.core.problem import WcmProblem
 from repro.core.testability import OverlapTestabilityEstimator
 from repro.core.timing_model import ReuseTimingModel
 from repro.netlist.core import PortKind
-from repro.runtime import instrument
+from repro.runtime import instrument, trace
 
 
 @dataclass
@@ -174,6 +174,8 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
             return
         overlap = problem.cones.overlap(name_a, name_b, kind)
         estimate = estimator.estimate(name_a, name_b, kind, overlap)
+        if trace.active() is not None:
+            trace.observe("graph.coverage_drop", estimate.coverage_drop)
         if estimate.within(config.cov_th, config.p_th):
             adjacency[name_a].add(name_b)
             adjacency[name_b].add(name_a)
@@ -238,6 +240,8 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
         instrument.count("graph.grid_skipped_pairs",
                          total_pairs - candidate_pairs)
 
+    if trace.active() is not None:
+        trace.observe("graph.edges", stats.edges)
     return WcmGraph(kind=kind, nodes=nodes, is_ff=is_ff,
                     adjacency=adjacency, excluded_tsvs=excluded,
                     stats=stats)

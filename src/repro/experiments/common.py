@@ -17,17 +17,20 @@ produced its numbers. See DESIGN.md §6.
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.atpg.engine import AtpgConfig
 from repro.bench.generator import generate_die
 from repro.bench.itc99 import DieProfile, all_die_profiles, die_profile
 from repro.core.config import Scenario, WcmConfig
 from repro.core.problem import WcmProblem, build_problem, tight_clock_for
+from repro.runtime import trace
 from repro.sta.constraints import ClockConstraint
 from repro.util.errors import ConfigError
+from repro.util.fingerprint import fingerprint
 
 DEFAULT_SEED = 2019
 
@@ -280,6 +283,17 @@ def run_cell(circuit: str, die_index: int, seed: int,
     product is served from disk and neither the die preparation nor
     the flow nor ATPG runs at all.
     """
+    with trace.span("die", circuit=circuit, die=die_index,
+                    method=spec.method, scenario=spec.scenario,
+                    atpg=bool(with_atpg)):
+        return _run_cell_inner(circuit, die_index, seed, scale, spec,
+                               with_atpg, include_transition)
+
+
+def _run_cell_inner(circuit: str, die_index: int, seed: int,
+                    scale: ExperimentScale, spec: MethodSpec,
+                    with_atpg: bool, include_transition: bool
+                    ) -> Tuple[WcmSummary, Optional[TestabilityReport]]:
     profile = die_profile(circuit, die_index)
     cache = active_cache()
 
@@ -364,6 +378,46 @@ def sweep_cells(fn, keys, cells, jobs: Optional[int], seed: int,
         else:
             failed[key] = outcome.describe()
     return ok, failed
+
+
+def traced_experiment(table: str) -> Callable:
+    """Wrap a ``run_*`` driver in an ``experiment`` span.
+
+    Under an active tracer the driver's whole execution becomes one
+    span (child spans: sweeps, dies, phases), so ``repro trace show``
+    can attribute every event to the table that produced it. With
+    tracing off this costs a single global read per driver call.
+    """
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with trace.span("experiment", kind="experiment", table=table):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def result_fingerprint(result) -> str:
+    """Content fingerprint of a driver result via its rendered table —
+    the render is the reproduction artifact, so two runs that agree on
+    it agree on everything the paper comparison cares about."""
+    return fingerprint(result.render())
+
+
+def driver_manifest(name: str, result, scale: ExperimentScale,
+                    seed: int) -> Dict[str, object]:
+    """Manifest payload for one finished driver run (tracer must be
+    active — metrics and span timings come from it)."""
+    tracer = trace.active()
+    return trace.build_manifest(
+        name,
+        config={"label": name, "scale": scale.name, "seed": seed},
+        seed=seed,
+        scale=scale.name,
+        result_fingerprint=result_fingerprint(result),
+        metrics=tracer.metrics if tracer is not None else None,
+        timings=tracer.bench_timings() if tracer is not None else None,
+    )
 
 
 def die_label(key) -> str:

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     run_cell,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.experiments.paper_data import FIGURE7_PAPER_MEAN_EDGE_INCREASE_PCT
 from repro.util.tables import AsciiTable
@@ -91,6 +92,7 @@ def _die_cell(args: Tuple[str, int, int, ExperimentScale]) -> Figure7Row:
     )
 
 
+@traced_experiment("figure7")
 def run_figure7(scale: Optional[ExperimentScale] = None,
                 seed: int = DEFAULT_SEED, verbose: bool = False,
                 jobs: Optional[int] = None) -> Figure7Result:

@@ -25,6 +25,7 @@ from repro.experiments.common import (
     run_cell,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.util.tables import AsciiTable, format_percent
 
@@ -109,6 +110,7 @@ def _die_cell(args: Tuple[str, int, int, ExperimentScale, str]
     )
 
 
+@traced_experiment("overhead")
 def run_overhead(scale: Optional[ExperimentScale] = None,
                  seed: int = DEFAULT_SEED, scenario_name: str = "area",
                  verbose: bool = False,

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     run_cell,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.experiments.paper_data import TABLE1_PAPER
 from repro.util.tables import AsciiTable, format_percent
@@ -109,6 +110,7 @@ def _die_cell(args: Tuple[int, int, ExperimentScale]
     return row
 
 
+@traced_experiment("table1")
 def run_table1(scale: Optional[ExperimentScale] = None,
                seed: int = DEFAULT_SEED, verbose: bool = False,
                jobs: Optional[int] = None) -> Table1Result:

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     resolve_scale,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.netlist.topology import combinational_levels
 from repro.util.errors import ReproError
@@ -112,6 +113,7 @@ def _die_row(args: Tuple[DieProfile, int]) -> Table2Row:
     )
 
 
+@traced_experiment("table2")
 def run_table2(scale: Optional[ExperimentScale] = None,
                seed: int = DEFAULT_SEED, verbose: bool = False,
                jobs: Optional[int] = None) -> Table2Result:

@@ -25,6 +25,7 @@ from repro.experiments.common import (
     run_cell,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.experiments.paper_data import TABLE3_PAPER_SUMMARY
 from repro.util.tables import AsciiTable
@@ -142,6 +143,7 @@ def _die_cell(args: Tuple[str, int, int, ExperimentScale]
     return row
 
 
+@traced_experiment("table3")
 def run_table3(scale: Optional[ExperimentScale] = None,
                seed: int = DEFAULT_SEED, verbose: bool = False,
                jobs: Optional[int] = None) -> Table3Result:

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     run_cell,
     scale_banner,
     sweep_cells,
+    traced_experiment,
 )
 from repro.experiments.paper_data import TABLE5_PAPER_AVERAGE
 from repro.util.tables import AsciiTable, format_pair
@@ -117,6 +118,7 @@ def _die_cell(args: Tuple[str, int, int, ExperimentScale]
     return row
 
 
+@traced_experiment("table5")
 def run_table5(scale: Optional[ExperimentScale] = None,
                seed: int = DEFAULT_SEED, verbose: bool = False,
                jobs: Optional[int] = None) -> Table5Result:

@@ -14,7 +14,12 @@ Five orthogonal capabilities behind one import:
   crashes, cell hangs, malformed netlists, cache corruption) used to
   validate the failure semantics above,
 * :mod:`repro.runtime.instrument` — opt-in per-phase timers and
-  counters threaded through the flow, partitioner and ATPG engine.
+  counters threaded through the flow, partitioner and ATPG engine,
+* :mod:`repro.runtime.trace` — structured tracing under the instrument
+  API: attributed spans streamed to JSONL event logs, a metrics
+  registry (counters/gauges/histograms) with order-independent
+  rollups, and content-fingerprinted run manifests consumed by
+  ``repro trace show|diff`` and ``repro bench gate``.
 
 Configuration (worker count, cache directory) lives in
 :mod:`repro.runtime.config` and is set once per process by the CLI or
@@ -27,6 +32,7 @@ importing the cache eagerly here would make that cycle real. Cache
 names are re-exported lazily via module ``__getattr__``.
 """
 
+from repro.runtime import trace
 from repro.runtime.chaos import ChaosPlan, ChaosSpec
 from repro.runtime.config import (
     RuntimeConfig,
@@ -71,6 +77,7 @@ __all__ = [
     "phase",
     "resolve_jobs",
     "supervised_map",
+    "trace",
     *_CACHE_EXPORTS,
 ]
 

@@ -39,6 +39,7 @@ from repro.core.flow import WcmRunResult
 from repro.core.graph import GraphStats
 from repro.dft.wrapper import WrapperGroup, WrapperPlan
 from repro.netlist.core import PortKind
+from repro.runtime import trace
 from repro.runtime.config import current_config
 from repro.util.fingerprint import fingerprint
 
@@ -252,6 +253,7 @@ class ResultCache:
             handle = open(path, "r", encoding="utf-8")
         except OSError:
             self.stats.misses += 1
+            trace.inc("cache.misses")
             return None
         with handle:
             try:
@@ -260,12 +262,15 @@ class ResultCache:
                 # entry exists but is not JSON: torn write or corruption
                 self.quarantine(key)
                 self.stats.misses += 1
+                trace.inc("cache.misses")
                 return None
         if not isinstance(payload, dict):
             self.quarantine(key)
             self.stats.misses += 1
+            trace.inc("cache.misses")
             return None
         self.stats.hits += 1
+        trace.inc("cache.hits")
         return payload
 
     def quarantine(self, key: str) -> Optional[Path]:
@@ -286,6 +291,9 @@ class ResultCache:
                 return None
             destination = None
         self.stats.quarantined += 1
+        trace.inc("cache.quarantined")
+        trace.event("cache.quarantine", key=key,
+                    destination=str(destination) if destination else None)
         return destination
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
@@ -303,6 +311,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        trace.inc("cache.stores")
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -91,6 +91,10 @@ class ChaosPlan:
         spec = self.spec_for(index, attempt)
         if spec is None:
             return
+        from repro.runtime import trace
+        trace.inc("chaos.injections")
+        trace.event("chaos.injected", index=index, attempt=attempt,
+                    action=spec.action)
         if spec.action == "crash":
             os._exit(self.crash_code)
         if spec.action == "hang":

@@ -17,6 +17,9 @@ map, the supervisor and the result cache:
   instead of completing with the cell marked failed,
 * ``checkpoint_dir`` — directory of sweep checkpoint files; completed
   cells are journaled there so an interrupted sweep resumes from them,
+* ``trace_dir`` — root of the structured trace output (JSONL event
+  logs, run manifests); setting it starts the process tracer
+  (:mod:`repro.runtime.trace`) and worker processes adopt it too,
 * ``chaos`` — an optional :class:`repro.runtime.chaos.ChaosPlan` of
   deterministic fault injections (set programmatically by the chaos
   harness, or via ``REPRO_CHAOS`` as JSON).
@@ -24,8 +27,9 @@ map, the supervisor and the result cache:
 Environment fallbacks (read when :func:`configure` is not given an
 explicit value): ``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
 ``REPRO_NO_CACHE=1``, ``REPRO_TIMEOUT`` (seconds; ``0`` disables),
-``REPRO_RETRIES``, ``REPRO_STRICT=1``, ``REPRO_CHECKPOINT_DIR`` and
-``REPRO_CHAOS`` (JSON, see :func:`repro.runtime.chaos.plan_from_json`).
+``REPRO_RETRIES``, ``REPRO_STRICT=1``, ``REPRO_CHECKPOINT_DIR``,
+``REPRO_TRACE_DIR`` and ``REPRO_CHAOS`` (JSON, see
+:func:`repro.runtime.chaos.plan_from_json`).
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ class RuntimeConfig:
     retries: int = 0
     strict: bool = False
     checkpoint_dir: Optional[str] = None
+    trace_dir: Optional[str] = None
     #: deterministic fault-injection plan (ChaosPlan), tests/CI only
     chaos: Optional[Any] = None
 
@@ -103,6 +108,7 @@ def configure(jobs: Optional[int] = None,
               retries: Optional[int] = None,
               strict: Optional[bool] = None,
               checkpoint_dir: Optional[str] = None,
+              trace_dir: Optional[str] = None,
               chaos: Optional[Any] = None) -> RuntimeConfig:
     """Update the per-process runtime config; omitted arguments fall
     back to the environment, then to the current values."""
@@ -142,6 +148,12 @@ def configure(jobs: Optional[int] = None,
         checkpoint_dir = os.environ.get("REPRO_CHECKPOINT_DIR")
     if checkpoint_dir is not None:
         _CONFIG.checkpoint_dir = checkpoint_dir
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir is not None:
+        _CONFIG.trace_dir = trace_dir
+        from repro.runtime import trace
+        trace.ensure_started(trace_dir)
     if chaos is None:
         chaos = _env_chaos()
     if chaos is not None:
@@ -177,4 +189,8 @@ def apply_config(config: RuntimeConfig) -> None:
     _CONFIG.retries = config.retries
     _CONFIG.strict = config.strict
     _CONFIG.checkpoint_dir = config.checkpoint_dir
+    _CONFIG.trace_dir = config.trace_dir
     _CONFIG.chaos = config.chaos
+    if config.trace_dir:
+        from repro.runtime import trace
+        trace.ensure_started(config.trace_dir, role="worker")

@@ -16,6 +16,19 @@ tests), :func:`phase` and :func:`count` are no-ops costing one list
 check, so instrumented hot paths pay nothing in production runs.
 Reports merge (:meth:`RunReport.merge`), so per-cell reports from
 parallel workers can be folded into one run-level view.
+
+This module is also the hook point for the structured tracing layer
+(:mod:`repro.runtime.trace`): when a tracer is started, every
+:func:`phase` additionally opens a span (streamed to the JSONL event
+log and aggregated into BENCH-compatible timings) and every
+:func:`count` feeds the tracer's metrics registry — with no change to
+the call sites and no cost when tracing is off.
+
+Re-entrancy: a phase that re-enters itself under the same name (e.g. a
+recursive repair loop) charges its wall-clock only once, at the
+outermost level — inner entries bump ``calls`` but contribute zero
+seconds, so a report's per-phase seconds never exceed real elapsed
+time and :meth:`RunReport.render` shares stay <= 100%.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.runtime import trace
 from repro.util.tables import AsciiTable
 
 
@@ -42,10 +56,13 @@ class RunReport:
 
     phases: Dict[str, PhaseStat] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    #: live same-name phase nesting depth (not part of the payload)
+    _phase_depth: Dict[str, int] = field(default_factory=dict, init=False,
+                                         repr=False, compare=False)
 
-    def add_phase(self, name: str, seconds: float) -> None:
+    def add_phase(self, name: str, seconds: float, calls: int = 1) -> None:
         stat = self.phases.setdefault(name, PhaseStat())
-        stat.calls += 1
+        stat.calls += calls
         stat.seconds += seconds
 
     def add_count(self, name: str, amount: int = 1) -> None:
@@ -59,9 +76,13 @@ class RunReport:
         for name, amount in other.counters.items():
             self.add_count(name, amount)
 
+    @property
+    def total_seconds(self) -> float:
+        return sum(stat.seconds for stat in self.phases.values())
+
     # ------------------------------------------------------------------
     def render(self, title: str = "run profile") -> str:
-        total = sum(stat.seconds for stat in self.phases.values())
+        total = self.total_seconds
         table = AsciiTable(["phase", "calls", "seconds", "share"],
                            title=title)
         for name in sorted(self.phases):
@@ -82,7 +103,18 @@ class RunReport:
             "phases": {name: {"calls": s.calls, "seconds": s.seconds}
                        for name, s in self.phases.items()},
             "counters": dict(self.counters),
+            "total_seconds": self.total_seconds,
         }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunReport":
+        report = cls()
+        for name, stat in dict(payload.get("phases", {})).items():
+            report.phases[str(name)] = PhaseStat(
+                calls=int(stat["calls"]), seconds=float(stat["seconds"]))
+        for name, amount in dict(payload.get("counters", {})).items():
+            report.counters[str(name)] = int(amount)
+        return report
 
 
 #: stack of active collectors (innermost last); per process
@@ -106,18 +138,45 @@ def active_report() -> Optional[RunReport]:
 
 @contextmanager
 def phase(name: str) -> Iterator[None]:
-    """Time the block under *name* (no-op without a collector)."""
-    if not _ACTIVE:
+    """Time the block under *name* (no-op without collector or tracer).
+
+    With a collector: the innermost report accrues the phase; a
+    re-entrant phase of the same name charges seconds only at its
+    outermost level (calls still count every entry). With a tracer: a
+    span of the same name is opened so the phase lands in the JSONL
+    event trail and the manifest timings.
+    """
+    report = _ACTIVE[-1] if _ACTIVE else None
+    tracer = trace._TRACER
+    if report is None and tracer is None:
         yield
         return
+    span = tracer.span(name, kind="phase") if tracer is not None else None
+    if span is not None:
+        span.__enter__()
+    depth = 0
+    if report is not None:
+        depth = report._phase_depth.get(name, 0)
+        report._phase_depth[name] = depth + 1
     started = time.perf_counter()
     try:
         yield
     finally:
-        _ACTIVE[-1].add_phase(name, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        if report is not None:
+            if depth:
+                report._phase_depth[name] = depth
+            else:
+                report._phase_depth.pop(name, None)
+            report.add_phase(name, elapsed if depth == 0 else 0.0)
+        if span is not None:
+            span.__exit__(None, None, None)
 
 
 def count(name: str, amount: int = 1) -> None:
-    """Bump counter *name* (no-op without a collector)."""
+    """Bump counter *name* (no-op without a collector or tracer)."""
     if _ACTIVE:
         _ACTIVE[-1].add_count(name, amount)
+    tracer = trace._TRACER
+    if tracer is not None:
+        tracer.metrics.inc(name, amount)

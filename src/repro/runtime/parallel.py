@@ -12,7 +12,10 @@ worker management, per-cell reseeding and (when configured) timeouts
 and retries — but any cell that terminally fails raises
 :class:`~repro.util.errors.RuntimeExecutionError` instead of coming
 back as a marked outcome. Drivers that want partial results use
-``supervised_map`` directly.
+``supervised_map`` directly. Tracing (spans per sweep and per cell,
+worker metric ship-back) is inherited from the supervised layer — a
+``parallel_map`` under an active tracer emits the same event shapes
+as a supervised sweep.
 
 Determinism contract:
 

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.runtime import instrument
+from repro.runtime import instrument, trace
 from repro.runtime.config import (
     RuntimeConfig,
     apply_config,
@@ -300,23 +300,32 @@ def _worker_main(conn, config: RuntimeConfig, fn: Callable, seed: int,
             return
         index, attempt, cell = task
         random.seed(cell_seed(seed, index))
+        metrics_payload = None
         try:
-            if chaos is not None:
-                chaos.apply(index, attempt)
-            result = fn(cell)
+            # Per-cell metrics capture: the cell's counters/histograms
+            # ship back with the result and merge into the parent's
+            # registry, so a --jobs N rollup equals a serial one.
+            with trace.capture_metrics() as cell_metrics, \
+                    trace.span("cell", index=index, attempt=attempt):
+                if chaos is not None:
+                    chaos.apply(index, attempt)
+                result = fn(cell)
+            if trace.active() is not None:
+                metrics_payload = cell_metrics.to_payload()
         except Exception as exc:
             message = (f"{type(exc).__name__}: {exc}"
                        or type(exc).__name__)
-            payload = ("err", index, attempt, message, _pickle_safe(exc))
+            payload = ("err", index, attempt, message,
+                       _pickle_safe(exc), None)
         else:
-            payload = ("ok", index, attempt, None, result)
+            payload = ("ok", index, attempt, None, result, metrics_payload)
         try:
             conn.send(payload)
         except Exception:
             try:
                 conn.send(("err", index, attempt,
                            "result could not be sent back "
-                           "(unpicklable or parent gone)", None))
+                           "(unpicklable or parent gone)", None, None))
             except Exception:
                 return
 
@@ -476,6 +485,8 @@ class _Supervisor:
             # the worker died mid-cell: crash isolation path
             instrument.count("supervisor.crashes")
             exitcode = worker.process.exitcode
+            trace.event("supervisor.crash", index=index, attempt=attempt,
+                        exit_code=exitcode)
             self._retire(worker, kill=True)
             self._task_failed(
                 index, attempt, FAILED,
@@ -486,7 +497,10 @@ class _Supervisor:
         worker.deadline = None
         self.idle.append(worker)
         self._spawn_strikes = 0
-        kind, r_index, r_attempt, error, payload = message
+        kind, r_index, r_attempt, error, payload, metrics = message
+        tracer = trace.active()
+        if metrics is not None and tracer is not None:
+            tracer.metrics.merge_payload(metrics)
         if kind == "ok":
             self._task_done(r_index, r_attempt, payload)
         else:
@@ -495,6 +509,8 @@ class _Supervisor:
     def _on_timeout(self, worker: _Worker) -> None:
         index, attempt = worker.task
         instrument.count("supervisor.timeouts")
+        trace.event("supervisor.timeout", index=index, attempt=attempt,
+                    timeout_s=self.policy.timeout_s)
         self._retire(worker, kill=True)
         self._task_failed(
             index, attempt, TIMEOUT,
@@ -515,6 +531,7 @@ class _Supervisor:
             attempts=attempt)
         self.outcomes[index] = outcome
         instrument.count("supervisor.cells")
+        trace.observe("supervisor.attempts", attempt)
         if self.checkpoint is not None:
             self.checkpoint.append(index, result)
 
@@ -523,12 +540,16 @@ class _Supervisor:
                      exception: Optional[BaseException]) -> None:
         if attempt <= self.policy.retries:
             instrument.count("supervisor.retries")
+            trace.event("supervisor.retry", index=index,
+                        attempt=attempt, error=error)
             self.queue.append((index, attempt + 1))
             return
         outcome = CellOutcome(index=index, status=status, error=error,
                               attempts=attempt, exception=exception)
         self.outcomes[index] = outcome
         instrument.count("supervisor.failures")
+        trace.event("supervisor.cell_failed", index=index, status=status,
+                    attempts=attempt, error=error)
         if self.policy.strict:
             raise _terminal_error(self.label, outcome)
 
@@ -546,10 +567,14 @@ def _run_serial(fn: Callable, cells: List[Any], todo: List[int],
             attempt += 1
             random.seed(cell_seed(seed, index))
             try:
-                result = fn(cells[index])
+                with trace.span("cell", index=index, attempt=attempt):
+                    result = fn(cells[index])
             except Exception as exc:
                 if attempt <= policy.retries:
                     instrument.count("supervisor.retries")
+                    trace.event("supervisor.retry", index=index,
+                                attempt=attempt,
+                                error=f"{type(exc).__name__}: {exc}")
                     continue
                 outcome = CellOutcome(
                     index=index, status=FAILED,
@@ -557,6 +582,9 @@ def _run_serial(fn: Callable, cells: List[Any], todo: List[int],
                     attempts=attempt, exception=exc)
                 outcomes[index] = outcome
                 instrument.count("supervisor.failures")
+                trace.event("supervisor.cell_failed", index=index,
+                            status=FAILED, attempts=attempt,
+                            error=outcome.error)
                 if policy.strict:
                     raise _terminal_error(label, outcome) from exc
                 break
@@ -565,6 +593,7 @@ def _run_serial(fn: Callable, cells: List[Any], todo: List[int],
                 status=OK if attempt == 1 else RETRIED,
                 result=result, attempts=attempt)
             instrument.count("supervisor.cells")
+            trace.observe("supervisor.attempts", attempt)
             if checkpoint is not None:
                 checkpoint.append(index, result)
             break
@@ -613,13 +642,16 @@ def supervised_map(fn: Callable[[Any], Any], cells: Iterable[Any],
     isolate = policy.timeout_s is not None or policy.chaos is not None
     try:
         if todo:
-            if isolate or (jobs > 1 and len(todo) > 1):
-                supervisor = _Supervisor(fn, cells, jobs, seed, policy,
-                                         label, outcomes, checkpoint)
-                supervisor.run(todo)
-            else:
-                _run_serial(fn, cells, todo, seed, policy, label,
-                            outcomes, checkpoint)
+            with trace.span("sweep", label=label, cells=len(cells),
+                            todo=len(todo), jobs=jobs,
+                            strict=policy.strict):
+                if isolate or (jobs > 1 and len(todo) > 1):
+                    supervisor = _Supervisor(fn, cells, jobs, seed, policy,
+                                             label, outcomes, checkpoint)
+                    supervisor.run(todo)
+                else:
+                    _run_serial(fn, cells, todo, seed, policy, label,
+                                outcomes, checkpoint)
     finally:
         if checkpoint is not None:
             checkpoint.close()

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.core import Instance, Net, Netlist, Pin, PortDirection, PortKind
 from repro.netlist.topology import topological_instances
-from repro.runtime import instrument
+from repro.runtime import instrument, trace
 from repro.sta.constraints import ClockConstraint, UNCONSTRAINED
 from repro.sta.delay import WireModel
 from repro.util.errors import TimingError
@@ -435,7 +435,7 @@ class TimingContext:
                       budget - wire_delays.get((net_name, name, pin_name),
                                                0.0))
 
-        return TimingResult(
+        result = TimingResult(
             netlist_name=netlist.name,
             constraint=constraint,
             arrival_ps=arrival,
@@ -445,6 +445,11 @@ class TimingContext:
             port_slack_ps=port_slack,
             critical_path_ps=critical,
         )
+        if trace.active() is not None:
+            worst = result.worst_slack_ps
+            if worst is not INF:
+                trace.observe("sta.worst_slack_ps", worst)
+        return result
 
 
 class TimingAnalyzer:

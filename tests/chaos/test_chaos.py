@@ -149,3 +149,52 @@ class TestCliExitCodes:
         captured = capsys.readouterr()
         assert code == 2
         assert "sweep aborted" in captured.err
+
+
+class TestChaosWithTracing:
+    """Events must survive injected crashes and timeout kills: the
+    per-line flush contract of the trace sink, end to end."""
+
+    def test_events_flushed_on_crash_and_timeout(self, tmp_path):
+        from repro.runtime import trace
+
+        plan = ChaosPlan(
+            cells={1: ChaosSpec("crash", attempts=99),
+                   2: ChaosSpec("hang", attempts=99)},
+            hang_seconds=600.0)
+        configure(jobs=4, timeout_s=TIMEOUT_S, chaos=plan,
+                  trace_dir=str(tmp_path))
+        injured = run_table3(B11_ONLY)
+        trace.stop()
+        assert set(injured.failures) == {("b11", 1), ("b11", 2)}
+
+        events = list(trace.read_events(tmp_path))
+        assert events, "no events survived the injured sweep"
+
+        # the supervisor recorded both failure modes in the main log
+        points = {}
+        for record in events:
+            if record["ev"] == "point":
+                points.setdefault(record["name"], []).append(
+                    record.get("attrs", {}))
+        assert any(a.get("index") == 1
+                   for a in points.get("supervisor.crash", []))
+        assert any(a.get("index") == 2
+                   for a in points.get("supervisor.timeout", []))
+
+        # killed workers still left their span_start lines on disk:
+        # the crashed cell 1 and the hung cell 2 both opened a span
+        # in a worker log before dying
+        worker_logs = list(tmp_path.glob("events-w*.jsonl"))
+        assert worker_logs, "worker processes wrote no event logs"
+        injured_starts = {
+            record["attrs"]["index"]
+            for record in events
+            if record["ev"] == "span_start" and record["name"] == "cell"
+            and record.get("attrs", {}).get("index") in (1, 2)}
+        assert injured_starts == {1, 2}
+
+        # the chaos injections themselves are on the record
+        chaos_actions = {a.get("action")
+                         for a in points.get("chaos.injected", [])}
+        assert {"crash", "hang"} <= chaos_actions

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.runtime import trace
 from repro.runtime.config import current_config
 
 
@@ -11,13 +12,20 @@ from repro.runtime.config import current_config
 def _isolate_runtime_config():
     """Restore the process-wide runtime config after every test, so a
     test that configures jobs/cache/timeouts/chaos (directly or through
-    the CLI) can't leak into its neighbours."""
+    the CLI) can't leak into its neighbours. A tracer started during
+    the test (configure(trace_dir=...) or the CLI flag) is stopped,
+    since its sink points into a directory the test owns."""
     config = current_config()
     saved = {f.name: getattr(config, f.name)
              for f in dataclasses.fields(config)}
+    tracer_before = trace.active()
     yield
     for name, value in saved.items():
         setattr(config, name, value)
+    if trace.active() is not tracer_before:
+        trace.stop()
+        if tracer_before is not None:
+            trace.start(tracer_before.trace_dir, role=tracer_before.role)
 
 from repro.bench.generator import generate_die
 from repro.bench.itc99 import die_profile

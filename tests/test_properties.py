@@ -103,3 +103,97 @@ def test_sta_arrival_monotone_under_period_change(seed):
     tight = timer.analyze(ClockConstraint(period_ps=100.0))
     assert loose.arrival_ps == tight.arrival_ps
     assert loose.worst_slack_ps > tight.worst_slack_ps
+
+
+# ---------------------------------------------------------------------------
+# Observability layer: rollups and report merges under reordering
+# ---------------------------------------------------------------------------
+_METRIC_OP = st.tuples(
+    st.sampled_from(["inc", "observe", "gauge"]),
+    st.sampled_from(["clique.size", "work.items", "x.generic"]),
+    st.integers(min_value=-1000, max_value=1000),
+)
+
+
+def _apply_ops(registry, ops):
+    for kind, name, value in ops:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "observe":
+            registry.observe(name, value)
+        else:
+            registry.set_gauge(name, value)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=st.lists(_METRIC_OP, max_size=60),
+       cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=4),
+       order_seed=st.integers(min_value=0, max_value=10**6))
+def test_metric_rollup_order_independent(ops, cuts, order_seed):
+    """Partitioning ops across registries and merging in any order —
+    the parallel_map completion-order situation — rolls up identically
+    to a serial registry (integer values, so sums are exact)."""
+    from repro.runtime.trace import MetricsRegistry
+
+    serial = MetricsRegistry()
+    _apply_ops(serial, ops)
+
+    bounds = sorted({min(c, len(ops)) for c in cuts} | {0, len(ops)})
+    chunks = [ops[a:b] for a, b in zip(bounds, bounds[1:])] or [ops]
+    parts = []
+    for chunk in chunks:
+        registry = MetricsRegistry()
+        _apply_ops(registry, chunk)
+        parts.append(registry)
+    DeterministicRng(order_seed).shuffle(parts)
+
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge_payload(part.to_payload())  # worker ship-back path
+    assert merged.to_payload() == serial.to_payload()
+    assert merged.rollup(volatile=False) == serial.rollup(volatile=False)
+
+
+_REPORT = st.builds(
+    lambda counters, phases: (counters, phases),
+    st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                    st.integers(min_value=0, max_value=100), max_size=3),
+    st.dictionaries(st.sampled_from(["p", "q"]),
+                    st.integers(min_value=0, max_value=1000), max_size=2),
+)
+
+
+def _report_from(spec):
+    from repro.runtime.instrument import RunReport
+
+    counters, phases = spec
+    report = RunReport()
+    for name, amount in counters.items():
+        report.add_count(name, amount)
+    for name, millis in phases.items():
+        # dyadic rational: float sums stay exact, so merge order
+        # can't perturb the payload comparison below
+        report.add_phase(name, millis / 1024.0)
+    return report
+
+
+@settings(max_examples=20, deadline=None)
+@given(x=_REPORT, y=_REPORT, z=_REPORT)
+def test_run_report_merge_associative_and_commutative(x, y, z):
+    """merge((x+y)+z) == merge(x+(y+z)) and x+y == y+x — the property
+    that makes per-cell reports foldable in completion order."""
+    left = _report_from(x)
+    left.merge(_report_from(y))
+    left.merge(_report_from(z))
+
+    inner = _report_from(y)
+    inner.merge(_report_from(z))
+    right = _report_from(x)
+    right.merge(inner)
+    assert left.to_payload() == right.to_payload()
+
+    xy = _report_from(x)
+    xy.merge(_report_from(y))
+    yx = _report_from(y)
+    yx.merge(_report_from(x))
+    assert xy.to_payload() == yx.to_payload()
