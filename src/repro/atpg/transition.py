@@ -7,7 +7,7 @@ slow-to-fall (STF) is the dual. Tests are pattern *pairs*; the pattern
 count reported is the number of pairs, matching how the paper's tables
 count transition patterns.
 
-Pairs are independent (launch-off-shift style); see DESIGN.md §8 for
+Pairs are independent (launch-off-shift style); see DESIGN.md §9 for
 why launch-on-capture fidelity buys nothing on synthetic substrates.
 The machinery reuses the stuck-at engine's packed simulation: the
 faulty machine in cycle 2 is exactly a stuck-at-initial-value machine,

@@ -11,6 +11,10 @@ Commands:
 * ``profile <circuit> <die>`` — run both methods instrumented and
   print per-phase wall-clock timers and work counters,
 * ``export <path>`` — write every table as markdown into a results file,
+* ``fuzz`` — differentially fuzz the optimized kernels against the
+  brute-force oracles (``--budget N`` / ``--seconds S``; ``--self-check``
+  runs the mutation-kill harness; ``--repro-dir`` promotes shrunk
+  failures to JSON repros),
 * ``trace show <manifest>`` — render a run manifest (counters,
   histograms, span timings),
 * ``trace diff <golden> <candidate>`` — compare two run manifests
@@ -245,6 +249,53 @@ def _common_options() -> argparse.ArgumentParser:
     return common
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing of the optimized kernels (DESIGN.md §8)."""
+    from repro.verify import render_results, run_fuzz, self_check
+
+    seed = getattr(args, "seed", 0) or 0
+    checks = ([c for c in args.checks.split(",") if c]
+              if args.checks else None)
+    if args.self_check:
+        mutants = ([m for m in args.mutants.split(",") if m]
+                   if args.mutants else None)
+        try:
+            results = self_check(root_seed=seed,
+                                 budget=args.budget or 150,
+                                 checks=checks,
+                                 mutant_names=mutants)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        print(render_results(results))
+        survivors = [r for r in results if not r.killed]
+        killed = len(results) - len(survivors)
+        if survivors:
+            print(f"self-check FAILED: {len(survivors)} mutant(s) "
+                  f"survived", file=sys.stderr)
+            return 1
+        if killed < 3:
+            print(f"self-check FAILED: only {killed} mutant(s) "
+                  f"exercised; need >= 3", file=sys.stderr)
+            return 1
+        print(f"self-check passed: {killed}/{killed} mutants killed")
+        return 0
+
+    try:
+        report = run_fuzz(root_seed=seed,
+                          budget=args.budget,
+                          seconds=args.seconds,
+                          checks=checks,
+                          jobs=getattr(args, "jobs", None),
+                          shrink_failures=not args.no_shrink,
+                          repro_dir=args.repro_dir)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime import trace
 
@@ -315,6 +366,34 @@ def main(argv=None) -> int:
                                    help="write all tables to markdown")
     export_parser.add_argument("path")
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", parents=[common],
+        help="differentially fuzz the kernels against brute-force "
+             "oracles")
+    fuzz_parser.add_argument("--budget", type=int, default=None,
+                             metavar="N",
+                             help="iteration budget (default 100; "
+                                  "self-check default 150)")
+    fuzz_parser.add_argument("--seconds", type=float, default=None,
+                             metavar="S",
+                             help="wall-clock budget instead of an "
+                                  "iteration count")
+    fuzz_parser.add_argument("--checks", default=None, metavar="A,B",
+                             help="comma-separated check names "
+                                  "(default: all)")
+    fuzz_parser.add_argument("--repro-dir", default=None, metavar="PATH",
+                             help="write shrunk failing specs as JSON "
+                                  "repros under PATH")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="skip shrinking failures")
+    fuzz_parser.add_argument("--self-check", action="store_true",
+                             help="mutation-kill mode: inject known-bad "
+                                  "kernel mutants and require the fuzzer "
+                                  "to kill every one (serial)")
+    fuzz_parser.add_argument("--mutants", default=None, metavar="A,B",
+                             help="comma-separated mutant names for "
+                                  "--self-check (default: all)")
+
     trace_parser = sub.add_parser(
         "trace", parents=[common],
         help="inspect or compare run manifests")
@@ -380,6 +459,8 @@ def main(argv=None) -> int:
             return _cmd_profile(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bench":

@@ -32,6 +32,12 @@ from repro.netlist.core import PortKind
 from repro.runtime import instrument, trace
 
 
+#: Relative bucket offsets scanned around a node's bucket by the
+#: grid-indexed sweep. Module-level so the verification mutants can
+#: patch it (dropping an offset must be caught by the fuzzer).
+_GRID_OFFSETS: Tuple[int, ...] = (-1, 0, 1)
+
+
 @dataclass
 class GraphStats:
     """Why edges exist / were rejected (feeds Fig. 7 and Table V)."""
@@ -214,9 +220,9 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
             """TSV indices in the 3x3 bucket neighbourhood, ascending."""
             bx, by = bucket_of(name)
             found: List[int] = []
-            for nx in (bx - 1, bx, bx + 1):
-                for ny in (by - 1, by, by + 1):
-                    hit = buckets.get((nx, ny))
+            for dx in _GRID_OFFSETS:
+                for dy in _GRID_OFFSETS:
+                    hit = buckets.get((bx + dx, by + dy))
                     if hit:
                         found.extend(hit)
             found.sort()

@@ -1,0 +1,437 @@
+"""Differential and metamorphic checks: kernel vs oracle on one instance.
+
+Each check takes a built :class:`Subject` and returns a list of
+human-readable divergence strings (empty = clean). Checks are pure
+observers — they never mutate the subject's problem — so one subject
+can run the whole registry. The fuzzer treats any non-empty list (or
+any exception during build/check) as a failure to shrink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.atpg.engine import _FaultDispatcher
+from repro.atpg.faults import build_fault_list
+from repro.atpg.sim import CompiledCircuit
+from repro.core.clique import CliquePartition, partition_cliques
+from repro.core.config import WcmConfig
+from repro.core.graph import WcmGraph, build_wcm_graph
+from repro.core.problem import WcmProblem
+from repro.core.testability import OverlapTestabilityEstimator
+from repro.core.timing_model import ReuseTimingModel
+from repro.dft.testview import TestView, build_prebond_test_view
+from repro.netlist.core import PortKind
+from repro.sta.constraints import UNCONSTRAINED
+from repro.sta.timer import TimingContext, TimingResult, default_case
+from repro.util.rng import DeterministicRng
+from repro.verify.instances import InstanceSpec
+from repro.verify.oracles import (
+    exact_min_clique_partition,
+    exhaustive_input_words,
+    oracle_build_graph,
+    oracle_detect_word,
+    oracle_simulate,
+    oracle_sta,
+    partition_violations,
+)
+
+_TSV_KINDS = (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND)
+
+#: inputs at or below this simulate every pattern instead of sampling
+EXHAUSTIVE_INPUT_LIMIT = 10
+_RANDOM_BLOCK_BITS = 64
+
+
+class Subject:
+    """One built verification instance shared by all checks."""
+
+    def __init__(self, spec: InstanceSpec) -> None:
+        self.spec = spec
+        self.problem: WcmProblem = spec.build_problem()
+        self.config: WcmConfig = spec.build_config(self.problem)
+        self.view: TestView = build_prebond_test_view(self.problem.netlist)
+        self.circuit = CompiledCircuit(self.view)
+
+    # Fresh collaborators per call: the model memoizes lookups and the
+    # estimator is budgeted/stateful, so kernel and oracle sides must
+    # each start cold to see identical call sequences.
+    def fresh_model(self) -> ReuseTimingModel:
+        return ReuseTimingModel(self.problem, self.config)
+
+    def fresh_estimator(self, config: Optional[WcmConfig] = None
+                        ) -> Optional[OverlapTestabilityEstimator]:
+        config = config or self.config
+        if not config.allow_overlap:
+            return None
+        return OverlapTestabilityEstimator(self.problem, config)
+
+    def kernel_graph(self, kind: PortKind) -> WcmGraph:
+        return build_wcm_graph(self.problem, kind,
+                               list(self.problem.scan_ffs), self.config,
+                               timing_model=self.fresh_model(),
+                               estimator=self.fresh_estimator())
+
+    def input_blocks(self) -> tuple:
+        """(input_words, mask): exhaustive when small, random otherwise."""
+        count = self.circuit.input_count
+        if count <= EXHAUSTIVE_INPUT_LIMIT:
+            return exhaustive_input_words(count)
+        rng = DeterministicRng(self.spec.seed).child("verify", "patterns")
+        mask = (1 << _RANDOM_BLOCK_BITS) - 1
+        words = [rng.getrandbits(_RANDOM_BLOCK_BITS) for _ in range(count)]
+        return words, mask
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers
+# ---------------------------------------------------------------------------
+def _compare_timing(label: str, kernel: TimingResult, oracle: TimingResult
+                    ) -> List[str]:
+    out: List[str] = []
+    for field in ("netlist_name", "constraint", "arrival_ps", "required_ps",
+                  "net_load_ff", "endpoints", "port_slack_ps",
+                  "critical_path_ps"):
+        k = getattr(kernel, field)
+        o = getattr(oracle, field)
+        if k != o:
+            if isinstance(k, dict) and isinstance(o, dict):
+                keys = [key for key in set(k) | set(o)
+                        if k.get(key) != o.get(key)]
+                out.append(f"{label}: {field} differs on {sorted(keys)[:4]} "
+                           f"(+{max(0, len(keys) - 4)} more)")
+            else:
+                out.append(f"{label}: {field} kernel={k!r} oracle={o!r}")
+    return out
+
+
+def _compare_graph(label: str, kernel: WcmGraph, oracle: WcmGraph
+                   ) -> List[str]:
+    out: List[str] = []
+    if kernel.nodes != oracle.nodes:
+        out.append(f"{label}: node lists differ "
+                   f"({len(kernel.nodes)} vs {len(oracle.nodes)})")
+    if kernel.is_ff != oracle.is_ff:
+        out.append(f"{label}: is_ff maps differ")
+    if kernel.excluded_tsvs != oracle.excluded_tsvs:
+        out.append(f"{label}: excluded TSVs kernel={kernel.excluded_tsvs} "
+                   f"oracle={oracle.excluded_tsvs}")
+    if kernel.adjacency != oracle.adjacency:
+        names = [n for n in set(kernel.adjacency) | set(oracle.adjacency)
+                 if kernel.adjacency.get(n) != oracle.adjacency.get(n)]
+        out.append(f"{label}: adjacency differs at {sorted(names)[:4]} "
+                   f"(+{max(0, len(names) - 4)} more)")
+    if kernel.stats != oracle.stats:
+        out.append(f"{label}: stats kernel={kernel.stats} "
+                   f"oracle={oracle.stats}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Differential checks
+# ---------------------------------------------------------------------------
+def check_simulation(subject: Subject) -> List[str]:
+    """Op-tape simulation vs per-gate reference vs truth-table oracle,
+    including the reusable-buffer entry point."""
+    out: List[str] = []
+    circuit = subject.circuit
+    words, mask = subject.input_blocks()
+
+    tape = circuit.simulate(words, mask)
+    reference = circuit.simulate_reference(words, mask)
+    if tape != reference:
+        out.append("sim: tape != per-gate reference interpreter")
+    buffer = circuit.make_buffer()
+    circuit.simulate([0] * len(words), mask, out=buffer)  # dirty it
+    reused = circuit.simulate(words, mask, out=buffer)
+    if reused != tape:
+        out.append("sim: buffer-reuse simulate differs from fresh")
+
+    oracle = oracle_simulate(subject.view, words, mask)
+    for name, word in oracle.items():
+        if tape[circuit.net_ids[name]] != word:
+            out.append(f"sim: net {name!r} kernel="
+                       f"{tape[circuit.net_ids[name]]:#x} oracle={word:#x}")
+            if len(out) > 6:
+                break
+    return out
+
+
+def check_fault_detection(subject: Subject) -> List[str]:
+    """Event-driven fault propagation vs full forced re-simulation for
+    the complete collapsed fault universe."""
+    out: List[str] = []
+    circuit = subject.circuit
+    view = subject.view
+    words, mask = subject.input_blocks()
+    faults = build_fault_list(view)
+    dispatcher = _FaultDispatcher(circuit, faults.faults)
+    good = circuit.simulate(words, mask)
+    oracle_good = oracle_simulate(view, words, mask)
+    for index, fault in enumerate(faults.faults):
+        kernel = dispatcher.detect_word(circuit, good, index, mask)
+        oracle = oracle_detect_word(view, fault, words, mask,
+                                    good=oracle_good)
+        if kernel != oracle:
+            out.append(f"fault {fault.kind.name} sa{int(fault.polarity)} "
+                       f"{fault.net!r} (owner={fault.owner!r}): kernel="
+                       f"{kernel:#x} oracle={oracle:#x}")
+            if len(out) > 6:
+                break
+    return out
+
+
+def check_sta(subject: Subject) -> List[str]:
+    """Reusable-context STA vs path-enumeration oracle: the problem's
+    own baselines (functional + test mode) and an unconstrained run."""
+    out: List[str] = []
+    problem = subject.problem
+    wrapped = problem.dedicated_netlist
+    clock = problem.timing.constraint
+    out += _compare_timing(
+        "sta[functional]", problem.timing,
+        oracle_sta(wrapped, clock, case=default_case(wrapped, test_mode=0)))
+    out += _compare_timing(
+        "sta[test]", problem.test_timing,
+        oracle_sta(wrapped, clock, case=default_case(wrapped, test_mode=1)))
+    fresh = TimingContext(wrapped).analyze(UNCONSTRAINED)
+    out += _compare_timing("sta[unconstrained]", fresh,
+                           oracle_sta(wrapped, UNCONSTRAINED))
+    return out
+
+
+def check_sta_reuse(subject: Subject) -> List[str]:
+    """Incremental invalidation vs recomputation: move one instance,
+    invalidate its nets, and demand the cached context equals a
+    from-scratch oracle on the moved netlist."""
+    netlist = subject.problem.dedicated_netlist.clone()
+    context = TimingContext(netlist)
+    context.analyze(UNCONSTRAINED)  # populate caches
+    instances = list(netlist.instances.values())
+    if not instances:
+        return []
+    mover = instances[len(instances) // 2]
+    mover.x += 13.0
+    mover.y += 7.0
+    context.invalidate_nets(set(mover.connections.values()))
+    kernel = context.analyze(UNCONSTRAINED)
+    oracle = oracle_sta(netlist, UNCONSTRAINED)
+    return _compare_timing(f"sta[reuse after moving {mover.name}]",
+                           kernel, oracle)
+
+
+def check_graph(subject: Subject) -> List[str]:
+    """Grid-indexed sweep vs brute-force kernel path vs O(n^2) oracle,
+    for both TSV directions."""
+    out: List[str] = []
+    problem = subject.problem
+    config = subject.config
+    ffs = list(problem.scan_ffs)
+    for kind in _TSV_KINDS:
+        grid = build_wcm_graph(problem, kind, ffs, config,
+                               timing_model=subject.fresh_model(),
+                               estimator=subject.fresh_estimator(),
+                               use_grid=True)
+        brute = build_wcm_graph(problem, kind, ffs, config,
+                                timing_model=subject.fresh_model(),
+                                estimator=subject.fresh_estimator(),
+                                use_grid=False)
+        oracle = oracle_build_graph(problem, kind, ffs, config,
+                                    timing_model=subject.fresh_model(),
+                                    estimator=subject.fresh_estimator())
+        out += _compare_graph(f"graph[{kind.name}] grid-vs-brute",
+                              grid, brute)
+        out += _compare_graph(f"graph[{kind.name}] kernel-vs-oracle",
+                              grid, oracle)
+    return out
+
+
+def check_clique(subject: Subject) -> List[str]:
+    """Partition validity (disjoint clique cover of the graph) plus the
+    branch-and-bound lower bound on small instances."""
+    out: List[str] = []
+    for kind in _TSV_KINDS:
+        graph = subject.kernel_graph(kind)
+        partition = partition_cliques(graph, subject.fresh_model())
+        for violation in partition_violations(graph, partition,
+                                              subject.config.max_group_size):
+            out.append(f"clique[{kind.name}]: {violation}")
+        exact = exact_min_clique_partition(graph)
+        if exact is not None and len(partition.cliques) < exact:
+            out.append(f"clique[{kind.name}]: heuristic produced "
+                       f"{len(partition.cliques)} cliques, below the "
+                       f"exact minimum {exact} — cover must be invalid")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic checks
+# ---------------------------------------------------------------------------
+def _transformed_problem(subject: Subject, transform) -> WcmProblem:
+    """The subject's problem with geometry transformed and every
+    electrical quantity held fixed.
+
+    Re-running the full pipeline on moved coordinates is NOT an
+    isometry invariant — the fuzzer proved it: scan stitching orders
+    the chain by position, and the chain's scan-out port is a real
+    2 fF load on whichever FF comes last, so rotating the die moves
+    that load and legitimately shifts the baseline STA. The honest
+    invariant transforms only the geometry Algorithm 1 consumes
+    (node locations, grid buckets, ``d_th`` span) over the same
+    timing database.
+    """
+    from repro.dft.cones import ConeAnalysis
+
+    clone = subject.problem.netlist.clone()
+    for inst in clone.instances.values():
+        inst.x, inst.y = transform(inst.x, inst.y)
+    for port in clone.ports.values():
+        port.x, port.y = transform(port.x, port.y)
+    base = subject.problem
+    return WcmProblem(
+        netlist=clone,
+        timing=base.timing,
+        test_timing=base.test_timing,
+        tsv_mux_out=base.tsv_mux_out,
+        cones=ConeAnalysis(clone),
+        dedicated_netlist=base.dedicated_netlist,
+        dedicated_critical_path_ps=base.dedicated_critical_path_ps,
+    )
+
+
+def check_metamorphic_isometry(subject: Subject) -> List[str]:
+    """Rotating or mirroring the die must leave the sharing graph
+    identical: both maps preserve every Manhattan distance *exactly*
+    in IEEE arithmetic (the coordinate differences are the same two
+    floats, negated and/or added in swapped order), so every distance
+    threshold, spatial-hash candidate superset and anchor-span term
+    decides identically. (Translation is deliberately NOT used:
+    ``(x+t)-(y+t)`` rounds.)
+    """
+    out: List[str] = []
+    ffs = list(subject.problem.scan_ffs)
+    for label, transform in (("rotate90", lambda x, y: (-y, x)),
+                             ("mirror-x", lambda x, y: (-x, y))):
+        problem = _transformed_problem(subject, transform)
+        config = subject.spec.build_config(problem)
+        for kind in _TSV_KINDS:
+            base = subject.kernel_graph(kind)
+            moved = build_wcm_graph(
+                problem, kind, ffs, config,
+                timing_model=ReuseTimingModel(problem, config),
+                estimator=(OverlapTestabilityEstimator(problem, config)
+                           if config.allow_overlap else None))
+            out += _compare_graph(f"meta[{label}][{kind.name}]",
+                                  base, moved)
+    return out
+
+
+def check_metamorphic_thresholds(subject: Subject) -> List[str]:
+    """Loosening ``cov_th``/``p_th`` must never remove an edge: the
+    estimates are threshold-independent, only the acceptance test
+    moves."""
+    out: List[str] = []
+    config = subject.config
+    loose = dataclasses.replace(config, cov_th=config.cov_th * 4.0,
+                                p_th=config.p_th * 4)
+    for kind in _TSV_KINDS:
+        strict_graph = subject.kernel_graph(kind)
+        loose_graph = build_wcm_graph(
+            subject.problem, kind, list(subject.problem.scan_ffs), loose,
+            timing_model=ReuseTimingModel(subject.problem, loose),
+            estimator=subject.fresh_estimator(loose))
+        for name, neighbours in strict_graph.adjacency.items():
+            missing = neighbours - loose_graph.adjacency.get(name, set())
+            if missing:
+                out.append(f"meta[thresholds][{kind.name}]: loosening "
+                           f"removed edges {name!r} -> {sorted(missing)}")
+        if loose_graph.stats.rejected_testability \
+                > strict_graph.stats.rejected_testability:
+            out.append(f"meta[thresholds][{kind.name}]: looser thresholds "
+                       f"rejected more pairs")
+    return out
+
+
+def check_metamorphic_isolated_ff(subject: Subject) -> List[str]:
+    """Adding an isolated (edge-less) FF node must not change the TSV
+    side of the partition: it can join nothing, so every merge decision
+    is preserved and the partition gains exactly one FF-only clique."""
+    ffs = list(subject.problem.scan_ffs)
+    if len(ffs) < 2:
+        return []
+    held = ffs[-1]
+    out: List[str] = []
+    for kind in _TSV_KINDS:
+        base = build_wcm_graph(subject.problem, kind, ffs[:-1],
+                               subject.config,
+                               timing_model=subject.fresh_model(),
+                               estimator=subject.fresh_estimator())
+        model = subject.fresh_model()
+        # Append the held-out FF *after* the TSVs: every existing node
+        # keeps its integer id inside Algorithm 2, so any behaviour
+        # change is the isolated node's doing.
+        augmented = WcmGraph(
+            kind=base.kind,
+            nodes=base.nodes + [held],
+            is_ff={**base.is_ff, held: True},
+            adjacency={**base.adjacency, held: set()},
+            excluded_tsvs=base.excluded_tsvs,
+            stats=base.stats,
+        )
+        before = partition_cliques(base, subject.fresh_model())
+        after = partition_cliques(augmented, model)
+        if after.additional_cells != before.additional_cells:
+            out.append(f"meta[isolated-ff][{kind.name}]: additional cells "
+                       f"{before.additional_cells} -> "
+                       f"{after.additional_cells}")
+        def tsv_groups(partition: CliquePartition):
+            return sorted(tuple(sorted(c.tsvs))
+                          for c in partition.cliques if c.tsvs)
+        if tsv_groups(before) != tsv_groups(after):
+            out.append(f"meta[isolated-ff][{kind.name}]: TSV grouping "
+                       f"changed")
+        lone = [c for c in after.cliques if c.ff == held]
+        if len(lone) != 1 or lone[0].tsvs:
+            out.append(f"meta[isolated-ff][{kind.name}]: held-out FF did "
+                       f"not end as its own FF-only clique")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+CHECKS: Dict[str, Callable[[Subject], List[str]]] = {
+    "sim": check_simulation,
+    "faults": check_fault_detection,
+    "sta": check_sta,
+    "sta-reuse": check_sta_reuse,
+    "graph": check_graph,
+    "clique": check_clique,
+    "meta-isometry": check_metamorphic_isometry,
+    "meta-thresholds": check_metamorphic_thresholds,
+    "meta-isolated-ff": check_metamorphic_isolated_ff,
+}
+
+
+def run_checks(spec: InstanceSpec,
+               names: Optional[List[str]] = None) -> List[str]:
+    """Build *spec* and run the named checks (default: all). Exceptions
+    are folded into divergence strings so the fuzzer can shrink crash
+    inputs the same way as mismatch inputs."""
+    selected = names or list(CHECKS)
+    unknown = [n for n in selected if n not in CHECKS]
+    if unknown:
+        raise ValueError(f"unknown checks: {unknown} "
+                         f"(have {sorted(CHECKS)})")
+    try:
+        subject = Subject(spec)
+    except Exception as error:  # noqa: BLE001 — any crash is a finding
+        return [f"build: {type(error).__name__}: {error}"]
+    out: List[str] = []
+    for name in selected:
+        try:
+            out += CHECKS[name](subject)
+        except Exception as error:  # noqa: BLE001
+            out.append(f"{name}: {type(error).__name__}: {error}")
+    return out

@@ -1,0 +1,179 @@
+"""Known-bad kernel mutants and the fuzzer's mutation-kill self-check.
+
+A verification harness that never fails is indistinguishable from one
+that checks nothing. Each mutant here monkeypatches one real kernel
+into a subtly wrong variant — the kinds of defect the optimized code
+paths could actually develop — and the self-check asserts the fuzzer
+kills every one of them within a small budget.
+
+The self-check runs **serially in-process**: monkeypatches live in
+this interpreter only and would silently vanish inside ``--jobs``
+worker processes, turning the check into a vacuous pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.runtime import instrument
+from repro.verify.checks import run_checks
+from repro.verify.fuzz import spec_for_iteration
+
+
+@contextlib.contextmanager
+def _mutant_sim_opcode_swap() -> Iterator[None]:
+    """AND2 compiles to the OR2 opcode: the op-tape disagrees with the
+    per-gate reference and the truth-table oracle on any AND2 gate."""
+    from repro.atpg import sim
+
+    original = sim._OPCODES[("and", 2)]
+    sim._OPCODES[("and", 2)] = sim._OP_OR2
+    try:
+        yield
+    finally:
+        sim._OPCODES[("and", 2)] = original
+
+
+@contextlib.contextmanager
+def _mutant_grid_dropped_cell() -> Iterator[None]:
+    """The spatial hash scans a truncated neighbourhood: pairs in the
+    ``-1`` bucket row/column are misclassified as distance-rejected."""
+    from repro.core import graph
+
+    original = graph._GRID_OFFSETS
+    graph._GRID_OFFSETS = (0, 1)
+    try:
+        yield
+    finally:
+        graph._GRID_OFFSETS = original
+
+
+@contextlib.contextmanager
+def _mutant_sta_stale_cache() -> Iterator[None]:
+    """``invalidate_nets`` forgets to refresh: the reusable context
+    keeps serving pre-edit loads and wire delays."""
+    from repro.sta import timer
+
+    original = timer.TimingContext.invalidate_nets
+
+    def stale(self, net_names) -> None:  # noqa: ARG001
+        return None
+
+    timer.TimingContext.invalidate_nets = stale
+    try:
+        yield
+    finally:
+        timer.TimingContext.invalidate_nets = original
+
+
+@contextlib.contextmanager
+def _mutant_obs_branch_dead() -> Iterator[None]:
+    """Faults on observation branches report undetected: a silently
+    optimistic fault universe."""
+    from repro.atpg import sim
+
+    original = sim.CompiledCircuit.observation_diff
+
+    def dead(self, good, net_id, value, mask) -> int:  # noqa: ARG001
+        return 0
+
+    sim.CompiledCircuit.observation_diff = dead
+    try:
+        yield
+    finally:
+        sim.CompiledCircuit.observation_diff = original
+
+
+@contextlib.contextmanager
+def _mutant_cone_bitset_alias() -> Iterator[None]:
+    """Every cone bitset gains a shared phantom bit: all pairs look
+    cone-overlapped, silently rerouting edges through the estimator."""
+    from repro.core import graph
+
+    original = graph._cone_bitsets
+
+    def aliased(problem, names, kind):
+        out = original(problem, names, kind)
+        return {name: value | 1 for name, value in out.items()}
+
+    graph._cone_bitsets = aliased
+    try:
+        yield
+    finally:
+        graph._cone_bitsets = original
+
+
+#: name -> (description, contextmanager factory)
+MUTANTS: Dict[str, tuple] = {
+    "sim-opcode-swap": ("op-tape compiles AND2 as OR2",
+                        _mutant_sim_opcode_swap),
+    "grid-dropped-cell": ("grid sweep drops the -1 bucket offsets",
+                          _mutant_grid_dropped_cell),
+    "sta-stale-cache": ("TimingContext.invalidate_nets is a no-op",
+                        _mutant_sta_stale_cache),
+    "obs-branch-dead": ("observation_diff always reports undetected",
+                        _mutant_obs_branch_dead),
+    "cone-bitset-alias": ("cone bitsets share a phantom overlap bit",
+                          _mutant_cone_bitset_alias),
+}
+
+
+@dataclass
+class MutantResult:
+    """Outcome of hunting one mutant."""
+
+    name: str
+    description: str
+    killed: bool
+    iterations: int
+    #: first divergence message that killed it (diagnostics)
+    evidence: Optional[str] = None
+
+
+def self_check(root_seed: int = 0, budget: int = 150,
+               checks: Optional[List[str]] = None,
+               mutant_names: Optional[List[str]] = None
+               ) -> List[MutantResult]:
+    """Inject each mutant and fuzz (serially, in-process) until the
+    checks object or the budget runs out. Every mutant must die."""
+    selected = mutant_names or list(MUTANTS)
+    unknown = [n for n in selected if n not in MUTANTS]
+    if unknown:
+        raise ValueError(f"unknown mutants: {unknown} "
+                         f"(have {sorted(MUTANTS)})")
+    results: List[MutantResult] = []
+    for name in selected:
+        description, factory = MUTANTS[name]
+        killed = False
+        evidence = None
+        iterations = 0
+        with factory():
+            for index in range(budget):
+                iterations += 1
+                spec = spec_for_iteration(root_seed, index)
+                divergences = run_checks(spec, checks)
+                if divergences:
+                    killed = True
+                    evidence = divergences[0]
+                    break
+        instrument.count("verify.mutants_killed" if killed
+                         else "verify.mutants_survived")
+        results.append(MutantResult(name=name, description=description,
+                                    killed=killed, iterations=iterations,
+                                    evidence=evidence))
+    return results
+
+
+def render_results(results: List[MutantResult]) -> str:
+    lines = []
+    for result in results:
+        verdict = (f"KILLED after {result.iterations} iteration(s)"
+                   if result.killed
+                   else f"SURVIVED {result.iterations} iteration(s)")
+        lines.append(f"mutant {result.name} ({result.description}): "
+                     f"{verdict}")
+        if result.evidence:
+            lines.append(f"  evidence: {result.evidence}")
+    return "\n".join(lines)

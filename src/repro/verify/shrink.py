@@ -1,0 +1,77 @@
+"""Greedy repro shrinking: smallest spec that still diverges.
+
+The search space is the :class:`InstanceSpec` itself (not the netlist):
+halve the size knobs toward their floors, then clear the shape flags,
+re-running the originally-failing checks after each candidate edit and
+keeping any candidate that still fails. This converges in a few dozen
+builds and the result is directly serializable for ``tests/repros/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.verify.checks import run_checks
+from repro.verify.instances import MIN_FFS, MIN_GATES, InstanceSpec
+
+#: hard cap on candidate builds per shrink (each build is an STA + ATPG)
+DEFAULT_ATTEMPTS = 48
+
+
+def _halve(value: int, floor: int) -> int:
+    return max(floor, (value + floor) // 2)
+
+
+def _candidates(spec: InstanceSpec) -> List[InstanceSpec]:
+    """Ordered shrink candidates: big structural cuts first."""
+    out: List[InstanceSpec] = []
+
+    def emit(**changes) -> None:
+        candidate = dataclasses.replace(spec, **changes)
+        if candidate != spec:
+            out.append(candidate)
+
+    emit(gates=_halve(spec.gates, MIN_GATES))
+    emit(ffs=_halve(spec.ffs, MIN_FFS))
+    emit(tsv_in=spec.tsv_in // 2)
+    emit(tsv_out=spec.tsv_out // 2)
+    emit(gates=max(MIN_GATES, spec.gates - 1))
+    emit(ffs=max(MIN_FFS, spec.ffs - 1))
+    emit(tsv_in=max(0, spec.tsv_in - 1))
+    emit(tsv_out=max(0, spec.tsv_out - 1))
+    if spec.coincident:
+        emit(coincident=False)
+    if spec.d_th_boundary:
+        emit(d_th_boundary=False)
+    if spec.d_th_fraction is not None:
+        emit(d_th_fraction=None)
+    if spec.method != "ours":
+        emit(method="ours")
+    if spec.scenario != "area":
+        emit(scenario="area")
+    return out
+
+
+def shrink(spec: InstanceSpec, check_names: Optional[List[str]] = None,
+           max_attempts: int = DEFAULT_ATTEMPTS) -> InstanceSpec:
+    """Smallest spec (under greedy descent) still failing its checks.
+
+    *check_names* should name only the checks that failed originally —
+    re-running the full registry would slow the loop ~9x and risks
+    "shrinking" onto an unrelated failure.
+    """
+    attempts = 0
+    current = spec
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if run_checks(candidate, check_names):
+                current = candidate
+                improved = True
+                break  # restart the ladder from the smaller spec
+    return current

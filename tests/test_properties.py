@@ -10,6 +10,7 @@ from repro.netlist.builder import NetlistBuilder
 from repro.netlist.topology import topological_instances
 from repro.netlist.validate import validate_netlist
 from repro.util.rng import DeterministicRng
+from repro.verify.instances import InstanceSpec
 
 _CELLS = [("INV_X1", 1), ("BUF_X1", 1), ("NAND2_X1", 2), ("NOR2_X1", 2),
           ("AND2_X1", 2), ("OR2_X1", 2), ("XOR2_X1", 2), ("XNOR2_X1", 2),
@@ -103,6 +104,65 @@ def test_sta_arrival_monotone_under_period_change(seed):
     tight = timer.analyze(ClockConstraint(period_ps=100.0))
     assert loose.arrival_ps == tight.arrival_ps
     assert loose.worst_slack_ps > tight.worst_slack_ps
+
+
+# ---------------------------------------------------------------------------
+# Verification-instance properties: the fuzz generator's subjects obey
+# the structural invariants the differential checks assume.
+# ---------------------------------------------------------------------------
+_instance_specs = st.builds(
+    InstanceSpec,
+    seed=st.integers(min_value=0, max_value=10**6),
+    gates=st.integers(min_value=12, max_value=30),
+    ffs=st.integers(min_value=1, max_value=5),
+    tsv_in=st.integers(min_value=0, max_value=5),
+    tsv_out=st.integers(min_value=0, max_value=5),
+    scenario=st.sampled_from(["tight", "area"]),
+    method=st.sampled_from(["ours", "agrawal"]),
+    coincident=st.booleans(),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec=_instance_specs)
+def test_instance_graph_symmetric_and_partition_valid(spec):
+    """On any generated instance: the sharing graph's adjacency is
+    symmetric and self-loop-free, and the heuristic partition is a
+    disjoint clique cover obeying the group-size cap."""
+    from repro.core.clique import partition_cliques
+    from repro.core.timing_model import ReuseTimingModel
+    from repro.netlist.core import PortKind
+    from repro.verify.checks import Subject
+    from repro.verify.oracles import partition_violations
+
+    subject = Subject(spec)
+    for kind in (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND):
+        graph = subject.kernel_graph(kind)
+        for name, neighbours in graph.adjacency.items():
+            assert name not in neighbours
+            for other in neighbours:
+                assert name in graph.adjacency[other], (name, other)
+        partition = partition_cliques(
+            graph, ReuseTimingModel(subject.problem, subject.config))
+        assert not partition_violations(graph, partition,
+                                        subject.config.max_group_size)
+
+
+@settings(max_examples=6, deadline=None)
+@given(spec=_instance_specs)
+def test_instance_sta_monotone_under_tsv_load_increase(spec):
+    """Doubling the outbound-TSV load model can only push arrivals
+    later, pointwise, on the generated die."""
+    from repro.sta.constraints import UNCONSTRAINED
+    from repro.sta.timer import TimingContext
+
+    netlist = spec.build_netlist()
+    light = TimingContext(netlist, tsv_cap_ff=15.0).analyze(UNCONSTRAINED)
+    heavy = TimingContext(netlist, tsv_cap_ff=30.0).analyze(UNCONSTRAINED)
+    assert set(light.arrival_ps) == set(heavy.arrival_ps)
+    for net, arrival in light.arrival_ps.items():
+        assert heavy.arrival_ps[net] >= arrival, net
+    assert heavy.critical_path_ps >= light.critical_path_ps
 
 
 # ---------------------------------------------------------------------------
