@@ -179,6 +179,27 @@ class AtpgEngine:
         self.dispatcher = _FaultDispatcher(self.circuit, faults.faults)
         self.rng = DeterministicRng(self.config.seed).child(
             "atpg", view.netlist.name)
+        # numpy backend: batched bit-plane fault simulation (None when
+        # the backend is python, numpy is absent, or a gate has no
+        # vectorized model — the per-fault python path then runs).
+        self._planes = None
+        from repro.runtime.backend import use_numpy
+        if use_numpy():
+            from repro.atpg.planes import PlaneSimulator
+            self._planes = PlaneSimulator.build(self.circuit)
+
+    # ------------------------------------------------------------------
+    def _detect_many(self, good: List[int], active: Sequence[int],
+                     mask: int) -> List[int]:
+        """Detection words for the *active* fault indices, in order —
+        byte-identical between the batched plane kernel and the
+        per-fault dispatcher loop."""
+        if self._planes is not None:
+            return self._planes.detect_many(good, self.dispatcher.ops,
+                                            active, mask)
+        circuit, dispatcher = self.circuit, self.dispatcher
+        return [dispatcher.detect_word(circuit, good, fault_index, mask)
+                for fault_index in active]
 
     # ------------------------------------------------------------------
     def run(self) -> AtpgResult:
@@ -207,9 +228,8 @@ class AtpgEngine:
                                for _ in range(columns)]
                 good = circuit.simulate(input_words, mask, out=good_buffer)
                 first_detector: Dict[int, int] = {}  # pattern k -> #faults
-                for fault_index in active:
-                    det = self.dispatcher.detect_word(circuit, good,
-                                                      fault_index, mask)
+                dets = self._detect_many(good, active, mask)
+                for fault_index, det in zip(active, dets):
                     if det:
                         status[fault_index] = _DETECTED
                         k = (det & -det).bit_length() - 1
@@ -243,10 +263,9 @@ class AtpgEngine:
             batch_mask = (1 << len(batch)) - 1
             good = circuit.simulate(words, batch_mask, out=good_buffer)
             useful = set()
-            for fault_index in [i for i, s in enumerate(status)
-                                if s == _ACTIVE]:
-                det = self.dispatcher.detect_word(circuit, good, fault_index,
-                                                  batch_mask)
+            active = [i for i, s in enumerate(status) if s == _ACTIVE]
+            dets = self._detect_many(good, active, batch_mask)
+            for fault_index, det in zip(active, dets):
                 if det:
                     status[fault_index] = _DETECTED
                     useful.add((det & -det).bit_length() - 1)
@@ -332,10 +351,9 @@ class AtpgEngine:
             chunk_mask = (1 << len(chunk)) - 1
             good = circuit.simulate(words, chunk_mask, out=good_buffer)
             useful = set()
-            for fault_index in [i for i, s in enumerate(status)
-                                if s == _ACTIVE]:
-                det = self.dispatcher.detect_word(circuit, good, fault_index,
-                                                  chunk_mask)
+            active = [i for i, s in enumerate(status) if s == _ACTIVE]
+            dets = self._detect_many(good, active, chunk_mask)
+            for fault_index, det in zip(active, dets):
                 if det:
                     status[fault_index] = _DETECTED
                     useful.add((det & -det).bit_length() - 1)

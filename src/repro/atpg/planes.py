@@ -1,0 +1,258 @@
+"""NumPy bit-plane fault simulation (the ``numpy`` kernel backend).
+
+The pure-Python engine simulates one fault at a time with event-driven
+big-int propagation (:meth:`CompiledCircuit.propagate_stem` and
+friends). This module batches fault machines instead: each fault gets a
+*column* of uint64 bit-planes (one plane per 64 patterns), all columns
+are re-simulated together level by level with vectorized bitwise ops,
+and the detection word per fault is the OR over observed nets of the
+XOR against the good machine.
+
+Byte-identity with the event-driven path follows from purity: packed
+two-valued simulation of an acyclic netlist is a pure function of the
+source values, so a full forced re-simulation and an event-driven
+delta propagation give the same final values — hence identical
+detection words (columns whose forced value equals the good value
+simply reproduce the good machine and contribute no diff, matching the
+early-exit in ``propagate_stem``/``propagate_branch``).
+
+Fault injection mirrors the dispatcher ops exactly:
+
+* ``("s", net, value)`` — the net's row is forced after its driver's
+  level evaluates (or before level 1 for source nets); later levels
+  read the stuck value, and the site itself shows it to observation.
+* ``("b", gate, pin, value)`` — that one gate is re-evaluated for that
+  one column with the faulted operand patched.
+* ``("o", net, value)`` — activation equals detection; computed
+  directly from the good values without simulation.
+
+Unsupported netlists (any gate without a vectorized model) make
+:meth:`PlaneSimulator.build` return ``None`` and the engine falls back
+to the per-fault Python path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.atpg.sim import CompiledCircuit
+
+try:  # gated: the python backend must work without numpy installed
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend tests
+    _np = None
+
+#: op names with a vectorized bitwise model (n-ary where the netlist
+#: allows it); anything else falls back to the python dispatcher
+_VECTOR_OPS = frozenset((
+    "buf", "inv", "and", "nand", "or", "nor", "xor", "xnor",
+    "mux2", "aoi21", "oai21",
+))
+
+
+def _reduce_and(operands: Sequence["_np.ndarray"]) -> "_np.ndarray":
+    result = operands[0] & operands[1] if len(operands) > 1 \
+        else operands[0].copy()
+    for extra in operands[2:]:
+        result &= extra
+    return result
+
+
+def _reduce_or(operands: Sequence["_np.ndarray"]) -> "_np.ndarray":
+    result = operands[0] | operands[1] if len(operands) > 1 \
+        else operands[0].copy()
+    for extra in operands[2:]:
+        result |= extra
+    return result
+
+
+def _reduce_xor(operands: Sequence["_np.ndarray"]) -> "_np.ndarray":
+    result = operands[0] ^ operands[1] if len(operands) > 1 \
+        else operands[0].copy()
+    for extra in operands[2:]:
+        result ^= extra
+    return result
+
+
+def _op_eval(op_name: str, operands: Sequence["_np.ndarray"]
+             ) -> "_np.ndarray":
+    """Vectorized packed-logic model; high bits past the pattern mask
+    carry garbage that the caller masks off the final detection word,
+    exactly like the big-int kernels mask inverting ops."""
+    if op_name == "and":
+        return _reduce_and(operands)
+    if op_name == "nand":
+        return ~_reduce_and(operands)
+    if op_name == "or":
+        return _reduce_or(operands)
+    if op_name == "nor":
+        return ~_reduce_or(operands)
+    if op_name == "xor":
+        return _reduce_xor(operands)
+    if op_name == "xnor":
+        return ~_reduce_xor(operands)
+    if op_name == "buf":
+        return operands[0].copy()
+    if op_name == "inv":
+        return ~operands[0]
+    if op_name == "mux2":
+        a, b, s = operands
+        return (a & ~s) | (b & s)
+    if op_name == "aoi21":
+        a1, a2, b = operands
+        return ~((a1 & a2) | b)
+    # oai21 — build() admits nothing else
+    a1, a2, b = operands
+    return ~((a1 | a2) & b)
+
+
+class PlaneSimulator:
+    """Levelized bit-plane fault simulator over one compiled circuit."""
+
+    #: fault columns simulated per vectorized chunk (amortizes the
+    #: per-group dispatch overhead without outgrowing cache)
+    CHUNK = 512
+
+    def __init__(self, circuit: CompiledCircuit) -> None:
+        self.circuit = circuit
+        # Levelize: a gate's level is 1 + max of its input net levels,
+        # so gates within a level never read each other's outputs and
+        # the whole level can evaluate from the previous state.
+        net_level = [0] * circuit.n_nets
+        gate_level: List[int] = []
+        groups: Dict[Tuple[int, str, int], List[int]] = {}
+        for gate in circuit.gates:
+            level = 1 + max((net_level[nid] for nid in gate.ins),
+                            default=0)
+            gate_level.append(level)
+            net_level[gate.out] = level
+            groups.setdefault((level, gate.op_name, len(gate.ins)),
+                              []).append(gate.index)
+        self.net_level = net_level
+        self.gate_level = gate_level
+        self.max_level = max(gate_level, default=0)
+        #: per level: (op_name, out-id array, in-id matrix (n, arity))
+        self.levels: List[List[Tuple[str, "_np.ndarray", "_np.ndarray"]]]
+        self.levels = [[] for _ in range(self.max_level + 1)]
+        for (level, op_name, _arity), indices in sorted(groups.items()):
+            outs = _np.array([circuit.gates[gi].out for gi in indices],
+                             dtype=_np.intp)
+            ins = _np.array([circuit.gates[gi].ins for gi in indices],
+                            dtype=_np.intp)
+            self.levels[level].append((op_name, outs, ins))
+        self.obs_rows = _np.array(sorted(circuit.observed),
+                                  dtype=_np.intp)
+        # Only undriven nets (sources) need seeding from the good
+        # planes: every driven row is overwritten by its level's bulk
+        # evaluation before anything at a later level reads it.
+        self.source_rows = _np.array(
+            [nid for nid in range(circuit.n_nets)
+             if nid not in circuit.gate_of_net], dtype=_np.intp)
+
+    @classmethod
+    def build(cls, circuit: CompiledCircuit) -> Optional["PlaneSimulator"]:
+        """A simulator for *circuit*, or ``None`` when numpy is absent
+        or a gate has no vectorized model."""
+        if _np is None:
+            return None
+        if any(g.op_name not in _VECTOR_OPS for g in circuit.gates):
+            return None
+        return cls(circuit)
+
+    # ------------------------------------------------------------------
+    def _pack(self, values: Sequence[int], nbytes: int) -> "_np.ndarray":
+        """Pack big-int pattern words into little-endian uint64 planes."""
+        n = len(values)
+        buf = bytearray(n * nbytes)
+        for i, word in enumerate(values):
+            buf[i * nbytes:(i + 1) * nbytes] = word.to_bytes(
+                nbytes, "little")
+        return _np.frombuffer(bytes(buf), dtype="<u8").reshape(n, -1)
+
+    def detect_many(self, good: Sequence[int], ops: Sequence[Tuple],
+                    active: Sequence[int], mask: int) -> List[int]:
+        """Detection words for the *active* fault indices, in order.
+
+        *good* is the good-machine value list of the current block and
+        *ops* the dispatcher's pre-resolved fault descriptors.
+        """
+        nbits = mask.bit_length()
+        if nbits == 0:
+            return [0] * len(active)
+        nbytes = ((nbits + 63) // 64) * 8
+        good_planes = self._pack(good, nbytes)
+        result: Dict[int, int] = {}
+        simulated: List[int] = []
+        for fault_index in active:
+            op = ops[fault_index]
+            if op[0] == "o":
+                forced = mask if op[2] else 0
+                result[fault_index] = (good[op[1]] ^ forced) & mask
+            else:
+                simulated.append(fault_index)
+        for start in range(0, len(simulated), self.CHUNK):
+            chunk = simulated[start:start + self.CHUNK]
+            dets = self._simulate_chunk(good_planes, ops, chunk, nbytes)
+            for fault_index, det_bytes in zip(chunk, dets):
+                result[fault_index] = int.from_bytes(
+                    det_bytes, "little") & mask
+        return [result[fault_index] for fault_index in active]
+
+    def _simulate_chunk(self, good_planes: "_np.ndarray",
+                        ops: Sequence[Tuple], chunk: Sequence[int],
+                        nbytes: int) -> List[bytes]:
+        circuit = self.circuit
+        width = len(chunk)
+        planes = nbytes // 8
+        ones = _np.uint64(0xFFFFFFFFFFFFFFFF)
+        zero = _np.uint64(0)
+        # One faulty machine per column; only source rows need seeding
+        # from the good planes (driven rows are overwritten level by
+        # level before any later level reads them).
+        state = _np.empty((circuit.n_nets, width, planes),
+                          dtype=_np.uint64)
+        sources = self.source_rows
+        state[sources] = good_planes[sources][:, None, :]
+
+        stem_forces: Dict[int, List[Tuple[int, int, int]]] = {}
+        branch_fixes: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for column, fault_index in enumerate(chunk):
+            op = ops[fault_index]
+            if op[0] == "s":
+                level = 0
+                driver = circuit.gate_of_net.get(op[1])
+                if driver is not None:
+                    level = self.gate_level[driver]
+                stem_forces.setdefault(level, []).append(
+                    (op[1], column, op[2]))
+            else:  # "b"
+                branch_fixes.setdefault(
+                    self.gate_level[op[1]], []).append(
+                        (op[1], op[2], column, op[3]))
+
+        for net, column, value in stem_forces.get(0, ()):
+            state[net, column, :] = ones if value else zero
+
+        for level in range(1, self.max_level + 1):
+            for op_name, outs, ins in self.levels[level]:
+                operands = [state[ins[:, position]]
+                            for position in range(ins.shape[1])]
+                state[outs] = _op_eval(op_name, operands)
+            # Patched single gate-columns and stem pins apply after the
+            # level's bulk evaluation and before any reader runs.
+            for gate_index, position, column, value in \
+                    branch_fixes.get(level, ()):
+                gate = circuit.gates[gate_index]
+                operands = [state[nid, column] for nid in gate.ins]
+                operands[position] = _np.full(
+                    planes, ones if value else zero, dtype=_np.uint64)
+                state[gate.out, column] = _op_eval(gate.op_name, operands)
+            for net, column, value in stem_forces.get(level, ()):
+                state[net, column, :] = ones if value else zero
+
+        observed = self.obs_rows
+        diffs = state[observed] ^ good_planes[observed][:, None, :]
+        det_planes = _np.bitwise_or.reduce(diffs, axis=0)
+        det_bytes = det_planes.tobytes()
+        return [det_bytes[column * nbytes:(column + 1) * nbytes]
+                for column in range(width)]

@@ -41,6 +41,9 @@ Runtime flags (valid before or after the subcommand):
 * ``--trace-dir PATH`` — stream a structured JSONL event trail (spans,
   metrics) to PATH and write a fingerprinted run manifest per driver
   (``$REPRO_TRACE_DIR`` is the env equivalent).
+* ``--backend python|numpy`` — kernel implementation set
+  (``$REPRO_BACKEND`` is the env equivalent). Byte-identical results;
+  ``numpy`` vectorizes the fault-simulation, STA and graph kernels.
 
 Exit status: 0 when every cell succeeded, 1 when a table rendered with
 failed cells excluded, 2 when a strict sweep aborted.
@@ -92,11 +95,12 @@ def _run_driver(name: str, scale_name: Optional[str],
     scale = resolve_scale(scale_name)
     print(scale_banner(scale))
     seed = DEFAULT_SEED if seed is None else seed
-    started = time.time()
+    started = time.perf_counter()
     result = _DRIVERS[name](scale, seed=seed, verbose=verbose)
     rendered = result.render()
     print(rendered)
-    print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+    print(f"[{name} regenerated in "
+          f"{time.perf_counter() - started:.1f}s]")
     tracer = trace.active()
     if tracer is not None:
         payload = driver_manifest(name, result, scale, seed)
@@ -246,6 +250,10 @@ def _common_options() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="stream structured trace events and run "
                              "manifests to PATH")
+    common.add_argument("--backend", choices=("python", "numpy"),
+                        default=argparse.SUPPRESS,
+                        help="kernel implementation set (default "
+                             "python; results are byte-identical)")
     return common
 
 
@@ -429,7 +437,8 @@ def main(argv=None) -> int:
                   retries=getattr(args, "retries", None),
                   strict=getattr(args, "strict", None),
                   checkpoint_dir=getattr(args, "checkpoint_dir", None),
-                  trace_dir=getattr(args, "trace_dir", None))
+                  trace_dir=getattr(args, "trace_dir", None),
+                  backend=getattr(args, "backend", None))
     except ConfigError as exc:
         parser.error(str(exc))
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
@@ -240,9 +241,39 @@ class ResultCache:
     ``quarantine/`` sibling and the cell recomputes as a plain miss.
     """
 
+    #: a ``*.tmp`` older than this is an orphan from a crashed writer,
+    #: not an in-flight write on a parallel worker
+    STALE_TMP_SECONDS = 3600.0
+
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Quarantine temp files orphaned by crashed writers.
+
+        :meth:`put` unlinks its temp file on every failure path, but a
+        hard kill between ``mkstemp`` and the rename leaves the file
+        behind; without a sweep those accumulate in the shard
+        directories forever. Wall-clock mtime is the right measure
+        here (the writer may have been a different process/boot)."""
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        destination_dir = self.root / QUARANTINE_DIR
+        for tmp in self.root.glob("[0-9a-f][0-9a-f]/*.tmp"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue  # possibly an in-flight write elsewhere
+                destination_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(tmp, destination_dir / tmp.name)
+            except OSError:
+                continue
+            self.stats.quarantined += 1
+            trace.inc("cache.quarantined")
+            trace.event("cache.quarantine", key=tmp.name,
+                        destination=str(destination_dir / tmp.name))
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -300,16 +331,26 @@ class ResultCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        committed = False
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                fd = -1  # the file object owns the descriptor now
                 json.dump(payload, handle, separators=(",", ":"))
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            committed = True
+        finally:
+            if fd >= 0:
+                # os.fdopen itself failed: the raw descriptor would
+                # leak (and pin the temp file on some platforms)
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            if not committed:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
         self.stats.stores += 1
         trace.inc("cache.stores")
 

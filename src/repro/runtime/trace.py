@@ -52,8 +52,13 @@ TRACE_SCHEMA_VERSION = 1
 
 #: metric-name prefixes excluded from the manifest fingerprint: real
 #: but environment-dependent (cache warmth, injected faults, worker
-#: scheduling), so they would break run-to-run comparability
-VOLATILE_PREFIXES = ("cache.", "supervisor.", "chaos.")
+#: scheduling), so they would break run-to-run comparability.
+#: ``sim.propagate_events`` is backend-dependent rather than
+#: environment-dependent — the numpy bit-plane kernels replace the
+#: event-driven propagator wholesale — but it is excluded for the same
+#: reason: manifests must fingerprint identically across backends.
+VOLATILE_PREFIXES = ("cache.", "supervisor.", "chaos.",
+                     "sim.propagate_events")
 
 #: default histogram buckets by metric name (upper bounds; one
 #: overflow bucket is appended implicitly)
@@ -409,6 +414,9 @@ class Tracer:
 
     def _emit(self, record: Dict[str, Any]) -> None:
         record["pid"] = self.pid
+        # Event "ts" is wall-clock on purpose: it correlates events
+        # across processes and machines. Durations never come from it —
+        # spans measure with perf_counter.
         record["ts"] = round(time.time(), 6)
         self.sink.write(record)
 

@@ -1,0 +1,160 @@
+"""Kernel backend selection plumbing and cross-backend agreement.
+
+The backend choice (``python`` vs ``numpy``) must be byte-invisible in
+every result; these tests pin the selection precedence, the clean
+failure modes when numpy is absent, and — via a hypothesis sweep over
+generated verification instances — that both backends agree on ATPG,
+STA and graph construction outputs.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.engine import AtpgConfig, run_stuck_at_atpg
+from repro.cli import main
+from repro.core.graph import build_wcm_graph
+from repro.dft.testview import build_prebond_test_view
+from repro.netlist.core import PortKind
+from repro.runtime import backend as backend_mod
+from repro.runtime.backend import numpy_available
+from repro.runtime.config import apply_config, configure, current_config
+from repro.sta.constraints import ClockConstraint
+from repro.sta.timer import TimingContext
+from repro.util.errors import ConfigError
+from repro.verify.fuzz import spec_for_iteration
+
+_CLOCK = ClockConstraint(period_ps=800.0)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    backend_mod._NUMPY_OK = None  # drop any monkeypatched probe result
+    configure(backend="python")
+
+
+def _hide_numpy(monkeypatch):
+    """Make the process act as if numpy were not installed."""
+    monkeypatch.setattr(backend_mod, "_NUMPY_OK", False)
+
+
+class TestSelection:
+    def test_default_is_python(self):
+        assert current_config().backend == "python"
+        assert not backend_mod.use_numpy()
+
+    def test_explicit_argument(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        configure(backend="numpy")
+        assert backend_mod.active_backend() == "numpy"
+        assert backend_mod.use_numpy()
+
+    def test_env_fallback(self, monkeypatch):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        configure()
+        assert current_config().backend == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        configure(backend="python")
+        assert current_config().backend == "python"
+
+    def test_name_is_normalized(self):
+        assert backend_mod.validate_backend("  PYTHON ") == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            configure(backend="fortran")
+
+    def test_numpy_backend_requires_numpy(self, monkeypatch):
+        _hide_numpy(monkeypatch)
+        with pytest.raises(ConfigError, match="requires the numpy"):
+            configure(backend="numpy")
+
+    def test_workers_inherit_backend(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        parent = configure(backend="numpy")
+        snapshot = dataclasses.replace(parent)
+        configure(backend="python")
+        apply_config(snapshot)  # what a worker initializer does
+        assert current_config().backend == "numpy"
+
+
+class TestCliBackend:
+    def test_bad_backend_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--backend", "fortran", "die", "b11", "0"])
+        assert excinfo.value.code == 2
+
+    def test_numpy_backend_without_numpy_exits_2(self, monkeypatch):
+        _hide_numpy(monkeypatch)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--backend", "numpy", "die", "b11", "0"])
+        assert excinfo.value.code == 2
+
+    def test_numpy_backend_runs(self, capsys):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        assert main(["--backend", "numpy", "die", "b11", "0"]) == 0
+        assert "b11_die0" in capsys.readouterr().out
+
+
+def _kernel_products(spec):
+    """The three kernel outputs of one spec under the active backend."""
+    problem = spec.build_problem()
+    view = build_prebond_test_view(problem.netlist)
+    atpg = run_stuck_at_atpg(view, AtpgConfig(
+        seed=3, block_width=64, max_random_blocks=2,
+        podem_fault_limit=50))
+    timing = TimingContext(problem.netlist).analyze(_CLOCK)
+    config = spec.build_config(problem)
+    graphs = {
+        kind.value: build_wcm_graph(problem, kind, problem.scan_ffs,
+                                    config)
+        for kind in (PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND)
+    }
+    return {
+        "atpg": dataclasses.asdict(atpg),
+        "arrival": timing.arrival_ps,
+        "required": timing.required_ps,
+        "critical": timing.critical_path_ps,
+        "endpoints": [dataclasses.asdict(e) for e in timing.endpoints],
+        "adjacency": {k: g.adjacency for k, g in graphs.items()},
+        "graph_stats": {k: dataclasses.asdict(g.stats)
+                        for k, g in graphs.items()},
+    }
+
+
+class TestPythonWithoutNumpy:
+    def test_python_backend_runs_with_numpy_hidden(self, monkeypatch):
+        """The default backend must not need numpy at all."""
+        _hide_numpy(monkeypatch)
+        configure(backend="python")
+        products = _kernel_products(spec_for_iteration(2019, 0))
+        assert products["atpg"]["total_faults"] > 0
+        assert products["arrival"]
+
+
+@settings(max_examples=8, deadline=None)
+@given(index=st.integers(min_value=0, max_value=10**6))
+def test_backends_agree_on_generated_instances(index):
+    """Property: python and numpy kernels produce identical ATPG
+    results, timing dictionaries and sharing graphs on fuzzer-generated
+    instance specs."""
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    spec = spec_for_iteration(97, index)
+    try:
+        configure(backend="python")
+        plain = _kernel_products(spec)
+        configure(backend="numpy")
+        vector = _kernel_products(spec)
+    finally:
+        configure(backend="python")
+    assert plain == vector

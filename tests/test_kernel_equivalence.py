@@ -13,6 +13,9 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.runtime.backend import numpy_available
+from repro.runtime.config import configure
+
 from repro.atpg.sim import CompiledCircuit
 from repro.bench.generator import generate_die
 from repro.bench.itc99 import die_profile
@@ -32,6 +35,17 @@ from tests.test_properties import random_circuit
 _WIDTH = 64
 _MASK = (1 << _WIDTH) - 1
 _CLOCK = ClockConstraint(period_ps=900.0)
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
+def kernel_backend(request):
+    """Every equivalence test runs once per kernel backend: the numpy
+    kernels must match the oracles exactly as the python ones do."""
+    if request.param == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    configure(backend=request.param)
+    yield request.param
+    configure(backend="python")
 
 
 def _compiled(seed: int, n_gates: int = 30, n_inputs: int = 5):

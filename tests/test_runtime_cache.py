@@ -127,6 +127,37 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.stats.quarantined == 1
 
+    def test_failed_put_leaves_no_temp_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "2" * 62
+        with pytest.raises(TypeError):
+            cache.put(key, {"bad": object()})  # not JSON-serializable
+        assert not list(tmp_path.glob("**/*.tmp"))
+        assert cache.get(key) is None  # nothing half-written surfaced
+        assert cache.stats.stores == 0
+        # the slot still works afterwards
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+
+    def test_startup_sweep_quarantines_stale_tmp(self, tmp_path):
+        import os
+
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True)
+        stale = shard / "orphan123.tmp"
+        stale.write_text("{\"half\":")
+        old = 1_000_000.0  # far older than STALE_TMP_SECONDS
+        os.utime(stale, (old, old))
+        fresh = shard / "inflight456.tmp"
+        fresh.write_text("{")  # recent: possibly another worker's write
+
+        cache = ResultCache(tmp_path)
+        assert not stale.exists()
+        assert (tmp_path / "quarantine" / "orphan123.tmp").exists()
+        assert fresh.exists()  # untouched
+        assert cache.stats.quarantined == 1
+        assert len(cache) == 0  # temp files never counted as entries
+
 
 class TestPayloadRoundTrips:
     def test_wcm_summary(self, cache):

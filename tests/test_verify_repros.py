@@ -10,6 +10,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.runtime.backend import numpy_available
+from repro.runtime.config import configure
 from repro.verify import InstanceSpec, run_checks
 
 REPRO_DIR = Path(__file__).parent / "repros"
@@ -34,10 +36,19 @@ def test_corpus_covers_degenerate_corners():
     assert any(s.method == "agrawal" for s in specs), "no agrawal repro"
 
 
+@pytest.mark.parametrize("backend", ["python", "numpy"])
 @pytest.mark.parametrize("path", REPRO_FILES, ids=lambda p: p.stem)
-def test_repro_replays_clean(path):
-    spec = InstanceSpec.load(path)
-    divergences = run_checks(spec)
+def test_repro_replays_clean(path, backend):
+    """The corpus replays clean on both kernel backends — every repro
+    that once caught a python-kernel bug also guards the numpy one."""
+    if backend == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    configure(backend=backend)
+    try:
+        spec = InstanceSpec.load(path)
+        divergences = run_checks(spec)
+    finally:
+        configure(backend="python")
     assert not divergences, "\n".join(divergences)
 
 
