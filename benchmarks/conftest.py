@@ -41,39 +41,45 @@ def scale():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Export per-kernel timings to ``BENCH_kernels.json``.
+    """Export regression-tracked timings next to this conftest.
 
-    Only the ``test_bench_kernels.py`` micro-benchmarks are exported —
-    they are the regression-tracked hot loops; the table sweeps carry
-    their own outputs. The file lands next to this conftest so repeated
+    ``test_bench_kernels.py`` micro-benchmarks land in
+    ``BENCH_kernels.json`` and the ``test_bench_eco.py`` incremental-
+    session latencies in ``BENCH_eco.json``; the table sweeps carry
+    their own outputs. The files land next to this conftest so repeated
     runs are easy to diff.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not bench_session.benchmarks:
         return
-    kernels = {}
-    for bench in bench_session.benchmarks:
-        if "test_bench_kernels" not in (bench.fullname or ""):
+    for module, filename in (("test_bench_kernels", "BENCH_kernels.json"),
+                             ("test_bench_eco", "BENCH_eco.json")):
+        timings = {}
+        for bench in bench_session.benchmarks:
+            if module not in (bench.fullname or ""):
+                continue
+            stats = bench.stats
+            timings[bench.name] = {
+                "mean_s": stats.mean,
+                "min_s": stats.min,
+                "stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
+                "rounds": stats.rounds,
+            }
+            for key, value in (bench.extra_info or {}).items():
+                timings[bench.name][key] = value
+        if not timings:
             continue
-        stats = bench.stats
-        kernels[bench.name] = {
-            "mean_s": stats.mean,
-            "min_s": stats.min,
-            "stddev_s": stats.stddev if stats.rounds > 1 else 0.0,
-            "rounds": stats.rounds,
-        }
-    if not kernels:
-        return
-    path = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
-    trace.write_bench_json(path, kernels)
-    print(f"\n[kernel timings exported to {path}]")
-    tracer = trace.active()
-    if tracer is not None:
-        payload = trace.build_manifest("bench_kernels", timings=kernels,
-                                       metrics=tracer.metrics)
-        manifest_path = trace.write_manifest(
-            tracer.trace_dir / "manifest-bench_kernels.json", payload)
-        print(f"[bench manifest -> {manifest_path}]")
+        path = os.path.join(os.path.dirname(__file__), filename)
+        trace.write_bench_json(path, timings)
+        print(f"\n[{module} timings exported to {path}]")
+        tracer = trace.active()
+        if tracer is not None:
+            label = f"bench_{module.replace('test_bench_', '')}"
+            payload = trace.build_manifest(label, timings=timings,
+                                           metrics=tracer.metrics)
+            manifest_path = trace.write_manifest(
+                tracer.trace_dir / f"manifest-{label}.json", payload)
+            print(f"[bench manifest -> {manifest_path}]")
 
 
 @pytest.fixture

@@ -15,6 +15,10 @@ Commands:
   brute-force oracles (``--budget N`` / ``--seconds S``; ``--self-check``
   runs the mutation-kill harness; ``--repro-dir`` promotes shrunk
   failures to JSON repros),
+* ``session <circuit> <die>`` — incremental ECO re-solves: load the die
+  once, then apply ``move-ff``/``move-tsv``/``add-tsv``/``remove-tsv``/
+  ``set`` edits and ``solve`` from a script (``--script``) or
+  interactively; ``--verify`` checks every solve against a cold run,
 * ``trace show <manifest>`` — render a run manifest (counters,
   histograms, span timings),
 * ``trace diff <golden> <candidate>`` — compare two run manifests
@@ -69,7 +73,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import scale_banner
 from repro.runtime import configure
-from repro.util.errors import ConfigError, RuntimeExecutionError
+from repro.util.errors import (ConfigError, NetlistError,
+                               RuntimeExecutionError)
 
 _DRIVERS: Dict[str, Callable] = {
     "table1": run_table1,
@@ -304,6 +309,150 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+_SESSION_USAGE = """\
+commands (one per line; '#' starts a comment):
+  move-ff NAME X Y        queue a scan-FF move
+  move-tsv NAME X Y       queue a TSV move
+  add-tsv NAME in|out X Y [NET]   queue a TSV insertion
+  remove-tsv NAME         queue a TSV removal
+  set d_th_um|cov_th V    queue a threshold change
+  solve                   re-solve under the queued edits
+  info                    print die summary (FF/TSV counts)
+  help                    this text
+  quit                    exit"""
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Incremental ECO serving: one warm WcmSession per die, driven by
+    an edit script or an interactive prompt (DESIGN.md §12)."""
+    from repro.bench import die_profile, generate_die
+    from repro.core import Scenario, WcmConfig, build_problem
+    from repro.core.flow import run_wcm_flow
+    from repro.core.problem import tight_clock_for
+    from repro.core.session import (AddTsv, MoveFf, MoveTsv, RemoveTsv,
+                                    SetThreshold, WcmSession)
+    from repro.netlist.core import PortKind
+    from repro.verify.checks import _eco_result_fp
+
+    seed = getattr(args, "seed", None) or 2019
+    profile = die_profile(args.circuit, args.die)
+    netlist = generate_die(profile, seed=seed)
+    problem = build_problem(netlist)
+    clock = tight_clock_for(problem)
+    scenario = (Scenario.area_optimized() if args.scenario == "area"
+                else Scenario.performance_optimized(clock.period_ps))
+    config = (WcmConfig.agrawal(scenario) if args.method == "agrawal"
+              else WcmConfig.ours(scenario))
+    started = time.perf_counter()
+    session = WcmSession(problem.netlist, config, already_prepared=True)
+    print(f"session: {profile.name} loaded in "
+          f"{time.perf_counter() - started:.2f}s "
+          f"({len(list(problem.netlist.scan_flip_flops()))} scan FFs, "
+          f"{sum(1 for p in problem.netlist.ports.values() if p.is_tsv)} "
+          f"TSVs)")
+
+    if args.script and args.script != "-":
+        lines = open(args.script, encoding="utf-8").read().splitlines()
+        interactive = False
+    else:
+        lines = None
+        interactive = sys.stdin.isatty()
+
+    def read_lines():
+        if lines is not None:
+            yield from lines
+            return
+        while True:
+            if interactive:
+                print("eco> ", end="", flush=True)
+            line = sys.stdin.readline()
+            if not line:
+                return
+            yield line
+
+    def solve_once(index: int) -> bool:
+        t0 = time.perf_counter()
+        result = session.solve()
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        status = (f"[solve {index}] {elapsed_ms:.1f}ms "
+                  f"reused={result.reused_scan_ffs} "
+                  f"additional={result.additional_wrapper_cells} "
+                  f"violation={'yes' if result.timing_violation else 'no'} "
+                  f"dirty={session.last_dirty_frac * 100:.1f}% "
+                  f"fallback={session.last_fallback or '-'}")
+        ok = True
+        if args.verify:
+            clone = session.netlist.clone()
+            oracle_problem = build_problem(
+                clone, clock=session.config.scenario.clock,
+                already_prepared=True)
+            want = run_wcm_flow(oracle_problem, session.config)
+            ok = _eco_result_fp(result) == _eco_result_fp(want)
+            status += f" verify={'ok' if ok else 'MISMATCH'}"
+        print(status)
+        return ok
+
+    solves = 0
+    mismatches = 0
+    for raw in read_lines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        command, rest = words[0].lower(), words[1:]
+        try:
+            if command == "quit":
+                break
+            elif command == "help":
+                print(_SESSION_USAGE)
+            elif command == "info":
+                netlist = session.netlist
+                print(f"  {len(list(netlist.scan_flip_flops()))} scan "
+                      f"FFs, {sum(1 for p in netlist.ports.values() if p.is_tsv)} "
+                      f"TSVs, d_th_um={session.config.d_th_um} "
+                      f"cov_th={session.config.cov_th} "
+                      f"edits={session.edit_count}")
+            elif command == "move-ff":
+                session.apply(MoveFf(rest[0], float(rest[1]),
+                                     float(rest[2])))
+            elif command == "move-tsv":
+                session.apply(MoveTsv(rest[0], float(rest[1]),
+                                      float(rest[2])))
+            elif command == "add-tsv":
+                kind = (PortKind.TSV_INBOUND if rest[1] == "in"
+                        else PortKind.TSV_OUTBOUND)
+                session.apply(AddTsv(rest[0], kind, float(rest[2]),
+                                     float(rest[3]),
+                                     net=rest[4] if len(rest) > 4
+                                     else None))
+            elif command == "remove-tsv":
+                session.apply(RemoveTsv(rest[0]))
+            elif command == "set":
+                if rest[0] not in ("d_th_um", "cov_th"):
+                    raise ConfigError(f"set takes d_th_um or cov_th, "
+                                      f"got {rest[0]!r}")
+                session.apply(SetThreshold(**{rest[0]: float(rest[1])}))
+            elif command == "solve":
+                solves += 1
+                if not solve_once(solves):
+                    mismatches += 1
+            else:
+                print(f"unknown command {command!r} (try 'help')",
+                      file=sys.stderr)
+                if not interactive:
+                    return 2
+        except (ConfigError, NetlistError, IndexError, ValueError,
+                KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if not interactive:
+                return 2
+    if mismatches:
+        print(f"{mismatches}/{solves} solve(s) diverged from the cold "
+              f"oracle", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime import trace
 
@@ -402,6 +551,23 @@ def main(argv=None) -> int:
                              help="comma-separated mutant names for "
                                   "--self-check (default: all)")
 
+    session_parser = sub.add_parser(
+        "session", parents=[common],
+        help="incremental ECO re-solves on one warm die")
+    session_parser.add_argument("circuit")
+    session_parser.add_argument("die", type=int)
+    session_parser.add_argument("--script", default=None, metavar="PATH",
+                                help="edit script, one command per line "
+                                     "('-' = stdin; omitted: stdin, "
+                                     "interactive on a tty)")
+    session_parser.add_argument("--method", choices=("ours", "agrawal"),
+                                default="ours")
+    session_parser.add_argument("--scenario", choices=("tight", "area"),
+                                default="tight")
+    session_parser.add_argument("--verify", action="store_true",
+                                help="differentially check every solve "
+                                     "against a cold flow run")
+
     trace_parser = sub.add_parser(
         "trace", parents=[common],
         help="inspect or compare run manifests")
@@ -470,6 +636,8 @@ def main(argv=None) -> int:
             return _cmd_export(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "session":
+            return _cmd_session(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bench":

@@ -17,9 +17,11 @@ fixed.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
+import operator
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.graph import WcmGraph
 from repro.core.timing_model import CliqueTimingState, ReuseTimingModel
@@ -52,6 +54,10 @@ class CliquePartition:
     #: merge attempts rejected by the capacity/slack test
     rejected_merges: int = 0
     merges: int = 0
+    #: merges contributed by the singleton-rescue pass (also included
+    #: in ``merges``); carried so an incremental re-partition can
+    #: re-emit the same counters without re-running Algorithm 2
+    singleton_rescues: int = 0
 
     @property
     def reused_ff_count(self) -> int:
@@ -63,9 +69,55 @@ class CliquePartition:
         return sum(1 for c in self.cliques if c.tsvs and c.ff is None)
 
 
-def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
+_STATE_GETTER = operator.attrgetter(
+    *(f.name for f in dataclasses.fields(CliqueTimingState)))
+
+
+def _state_key(state: CliqueTimingState) -> tuple:
+    """Hashable identity of a clique timing state (all fields are
+    floats, strings, tuples or enums — no nesting, so a flat attribute
+    tuple equals ``dataclasses.astuple`` at a fraction of the cost)."""
+    return _STATE_GETTER(state)
+
+
+def _merged_state_fn(model: ReuseTimingModel,
+                     merge_memo: Optional[Dict]) -> Callable:
+    """``merged_state`` with an optional cross-run memo.
+
+    ``merged_state`` is pure in its two state arguments plus session-
+    constant configuration (``max_group_size``, ``cap_th``, ``s_th``,
+    library caps, the wire model), so outcomes can be memoized on the
+    state *values* and shared across re-partitions — states embed every
+    timing quantity the check reads, so a stale-timing hit is
+    impossible. Result states are never mutated after partitioning, so
+    sharing the memoized objects is safe.
+    """
+    if merge_memo is None:
+        return model.merged_state
+
+    def merged(a: CliqueTimingState, b: CliqueTimingState):
+        key = (_state_key(a), _state_key(b))
+        try:
+            return merge_memo[key]
+        except KeyError:
+            result = model.merged_state(a, b)
+            merge_memo[key] = result
+            return result
+
+    return merged
+
+
+def partition_cliques(graph: WcmGraph, model: ReuseTimingModel,
+                      merge_memo: Optional[Dict] = None
                       ) -> CliquePartition:
-    """Run Algorithm 2 on *graph* with merge checks from *model*."""
+    """Run Algorithm 2 on *graph* with merge checks from *model*.
+
+    *merge_memo* (a plain dict owned by the caller) memoizes
+    ``merged_state`` outcomes across repeated partitions — see
+    :func:`_merged_state_fn`; results are byte-identical with or
+    without it.
+    """
+    merged_state = _merged_state_fn(model, merge_memo)
     # Clique state, keyed by an integer id.
     members: Dict[int, List[str]] = {}
     ff_of: Dict[int, Optional[str]] = {}
@@ -126,7 +178,7 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
             sample = heapq.nsmallest(64, neighbours)
             n2 = min(sample, key=lambda c: (len(adjacency[c]), c))
 
-        merged = model.merged_state(states[n1], states[n2])
+        merged = merged_state(states[n1], states[n2])
         if merged is None:
             rejected += 1
             adjacency[n1].discard(n2)
@@ -167,7 +219,7 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
         cliques.append(Clique(kind=graph.kind, tsvs=list(member_list),
                               ff=ff_of[cid], state=states.get(cid)))
 
-    rescued = _absorb_singletons(graph, model, cliques)
+    rescued = _absorb_singletons(graph, merged_state, cliques)
     merges += rescued
 
     instrument.count("clique.merges", merges)
@@ -178,10 +230,11 @@ def partition_cliques(graph: WcmGraph, model: ReuseTimingModel
             trace.observe("clique.size", len(clique.tsvs))
 
     return CliquePartition(kind=graph.kind, cliques=cliques,
-                           rejected_merges=rejected, merges=merges)
+                           rejected_merges=rejected, merges=merges,
+                           singleton_rescues=rescued)
 
 
-def _absorb_singletons(graph: WcmGraph, model: ReuseTimingModel,
+def _absorb_singletons(graph: WcmGraph, merged_state: Callable,
                        cliques: List[Clique]) -> int:
     """Second-chance pass: Algorithm 2's intersection adjacency loses
     information as cliques form, stranding nodes whose merged
@@ -214,7 +267,7 @@ def _absorb_singletons(graph: WcmGraph, model: ReuseTimingModel,
             if not all(b in adjacency.get(a, ())
                        for a in donor_nodes for b in host_nodes):
                 continue
-            merged = model.merged_state(host.state, donor.state)
+            merged = merged_state(host.state, donor.state)
             if merged is None:
                 continue
             host.tsvs.extend(donor.tsvs)
@@ -227,3 +280,36 @@ def _absorb_singletons(graph: WcmGraph, model: ReuseTimingModel,
             break
     cliques[:] = [c for c in cliques if c.tsvs or c.ff]
     return merges
+
+
+def repartition(graph: WcmGraph, model: ReuseTimingModel,
+                dirty_nodes: Set[str], frozen: CliquePartition,
+                merge_memo: Optional[Dict] = None) -> CliquePartition:
+    """Incremental entry point for ECO sessions.
+
+    When the edit left the sharing graph untouched (*dirty_nodes* is
+    empty and the rebuilt *graph* matches the one *frozen* was computed
+    from), Algorithm 2 would reproduce *frozen* exactly — so skip it and
+    re-emit the same counters/observations from the frozen partition.
+    Any dirty node invalidates the greedy merge order globally (the
+    min-degree heap is sequential), so a non-empty dirty set falls back
+    to a full re-run of Algorithm 2, accelerated by *merge_memo* which
+    short-circuits the load/slack checks for state pairs already decided
+    in previous partitions.
+    """
+    if not dirty_nodes:
+        instrument.count("clique.merges", frozen.merges)
+        instrument.count("clique.rejected_merges", frozen.rejected_merges)
+        instrument.count("clique.singleton_rescues",
+                         frozen.singleton_rescues)
+        if trace.active() is not None:
+            for clique in frozen.cliques:
+                trace.observe("clique.size", len(clique.tsvs))
+        cliques = [Clique(kind=c.kind, tsvs=list(c.tsvs), ff=c.ff,
+                          state=c.state)
+                   for c in frozen.cliques]
+        return CliquePartition(kind=frozen.kind, cliques=cliques,
+                               rejected_merges=frozen.rejected_merges,
+                               merges=frozen.merges,
+                               singleton_rescues=frozen.singleton_rescues)
+    return partition_cliques(graph, model, merge_memo=merge_memo)

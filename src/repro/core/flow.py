@@ -229,13 +229,80 @@ def _evict_violating_groups(wrapped: Netlist, report: InsertionReport,
                        excluded_tsvs=list(plan.excluded_tsvs)), True
 
 
+def signoff_violations(functional_timing: TimingResult,
+                       test_timing: TimingResult):
+    """Violating endpoints of one sign-off round, worst-cause pairs."""
+    return ([(e, functional_timing) for e in functional_timing.violations]
+            + [(e, test_timing) for e in test_timing.violations])
+
+
+def signoff_build(problem: WcmProblem, plan: WrapperPlan, config: WcmConfig
+                  ) -> Tuple[Netlist, InsertionReport, TimingResult,
+                             TimingResult]:
+    """One sign-off round's physical build + STA: insert the plan,
+    restitch, analyze both sign-off modes."""
+    with instrument.phase("flow.insertion"):
+        wrapped, report = insert_wrappers(problem.netlist, plan)
+        stitch_scan_chains(wrapped, restitch=True)
+    with instrument.phase("flow.sta"):
+        # One context serves both sign-off modes: the graph prep
+        # (positions, loads, wire delays) is shared, only the
+        # arrival/required sweeps differ per case.
+        context = TimingContext(wrapped)
+        functional_timing = context.analyze(
+            config.scenario.clock,
+            case=default_case(wrapped, test_mode=0))
+        test_timing = context.analyze(
+            config.scenario.clock,
+            case=default_case(wrapped, test_mode=1))
+    return wrapped, report, functional_timing, test_timing
+
+
+class FlowHooks:
+    """Substitutable steps of :func:`run_wcm_flow`.
+
+    The defaults reproduce the cold flow exactly; an incremental
+    session (``repro.core.session``) overrides them with memoized
+    variants whose results must stay byte-identical — enforced by the
+    ``eco`` differential check in ``repro.verify``.
+    """
+
+    def make_model(self, problem: WcmProblem,
+                   config: WcmConfig) -> ReuseTimingModel:
+        return ReuseTimingModel(problem, config)
+
+    def make_estimator(self, problem: WcmProblem, config: WcmConfig
+                       ) -> Optional[OverlapTestabilityEstimator]:
+        return (OverlapTestabilityEstimator(problem, config)
+                if config.allow_overlap else None)
+
+    def build_graph(self, problem: WcmProblem, kind: PortKind,
+                    available_ffs: List[str], config: WcmConfig,
+                    model: ReuseTimingModel,
+                    estimator: Optional[OverlapTestabilityEstimator]
+                    ) -> WcmGraph:
+        return build_wcm_graph(problem, kind, available_ffs, config,
+                               model, estimator)
+
+    def partition(self, graph: WcmGraph,
+                  model: ReuseTimingModel) -> CliquePartition:
+        return partition_cliques(graph, model)
+
+    def signoff(self, problem: WcmProblem, plan: WrapperPlan,
+                config: WcmConfig):
+        return signoff_build(problem, plan, config)
+
+
+_DEFAULT_HOOKS = FlowHooks()
+
+
 def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
-                 order_override: Optional[Tuple[PortKind, ...]] = None
-                 ) -> WcmRunResult:
+                 order_override: Optional[Tuple[PortKind, ...]] = None,
+                 hooks: Optional[FlowHooks] = None) -> WcmRunResult:
     """Run one method/scenario on one prepared die."""
-    model = ReuseTimingModel(problem, config)
-    estimator = (OverlapTestabilityEstimator(problem, config)
-                 if config.allow_overlap else None)
+    hooks = hooks or _DEFAULT_HOOKS
+    model = hooks.make_model(problem, config)
+    estimator = hooks.make_estimator(problem, config)
     order = order_override or decide_order(problem, config)
     if set(order) != {PortKind.TSV_INBOUND, PortKind.TSV_OUTBOUND}:
         raise ConfigError(f"order must cover both TSV kinds, got {order}")
@@ -249,10 +316,10 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
 
     for kind in order:
         with instrument.phase("flow.graph"):
-            graph = build_wcm_graph(problem, kind, all_ffs, config,
-                                    model, estimator)
+            graph = hooks.build_graph(problem, kind, all_ffs, config,
+                                      model, estimator)
         with instrument.phase("flow.partition"):
-            partition = partition_cliques(graph, model)
+            partition = hooks.partition(graph, model)
         graph_stats[kind.value] = graph.stats
         partitions[kind.value] = partition
 
@@ -287,25 +354,11 @@ def run_wcm_flow(problem: WcmProblem, config: WcmConfig,
     wrapped = report = functional_timing = test_timing = None
     for _round in range(max(1, rounds)):
         instrument.count("flow.eco_rounds")
-        with instrument.phase("flow.insertion"):
-            wrapped, report = insert_wrappers(problem.netlist, plan)
-            stitch_scan_chains(wrapped, restitch=True)
-        with instrument.phase("flow.sta"):
-            # One context serves both sign-off modes: the graph prep
-            # (positions, loads, wire delays) is shared, only the
-            # arrival/required sweeps differ per case.
-            context = TimingContext(wrapped)
-            functional_timing = context.analyze(
-                config.scenario.clock,
-                case=default_case(wrapped, test_mode=0))
-            test_timing = context.analyze(
-                config.scenario.clock,
-                case=default_case(wrapped, test_mode=1))
+        wrapped, report, functional_timing, test_timing = \
+            hooks.signoff(problem, plan, config)
         if not (config.signoff_repair and config.scenario.is_timed):
             break
-        violations = ([(e, functional_timing)
-                       for e in functional_timing.violations]
-                      + [(e, test_timing) for e in test_timing.violations])
+        violations = signoff_violations(functional_timing, test_timing)
         if not violations:
             break
         # Gentle schedule: single evictions first (most violations have

@@ -101,6 +101,35 @@ def _cone_bitsets(problem: WcmProblem, names: Sequence[str], kind: PortKind
     return out
 
 
+def _bucket_candidates(tsvs: Sequence[str], location_of, d_th: float):
+    """The grid sweep's candidate generator: a spatial hash bucketed at
+    cell size ``d_th`` and a function mapping a node name to the TSV
+    indices in its 3x3 bucket neighbourhood (ascending). Shared by the
+    grid-indexed sweep and the brute-force path's counter parity."""
+    inv_cell = 1.0 / d_th
+
+    def bucket_of(name: str) -> Tuple[int, int]:
+        x, y = location_of(name)
+        return (math.floor(x * inv_cell), math.floor(y * inv_cell))
+
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for j, tsv in enumerate(tsvs):
+        buckets.setdefault(bucket_of(tsv), []).append(j)
+
+    def candidates(name: str) -> List[int]:
+        bx, by = bucket_of(name)
+        found: List[int] = []
+        for dx in _GRID_OFFSETS:
+            for dy in _GRID_OFFSETS:
+                hit = buckets.get((bx + dx, by + dy))
+                if hit:
+                    found.extend(hit)
+        found.sort()
+        return found
+
+    return candidates
+
+
 def effective_d_th(problem: WcmProblem, config: WcmConfig) -> float:
     """Resolve d_th: explicit um value, or a fraction of die span."""
     if math.isfinite(config.d_th_um) or config.d_th_fraction is None:
@@ -113,11 +142,84 @@ def effective_d_th(problem: WcmProblem, config: WcmConfig) -> float:
     return config.d_th_fraction * span
 
 
+#: edge-memo outcome sentinels (the fourth outcome is an
+#: :class:`OverlapEstimate`, kept so threshold re-tunes re-apply
+#: ``within`` without re-estimating). ``_REJ_DISTANCE`` appears only
+#: in pair logs — distance is re-checked on every build, never
+#: memoized.
+_EDGE = "edge"
+_REJ_TIMING = "timing"
+_REJ_OVERLAP = "overlap"
+_REJ_DISTANCE = "distance"
+
+
+def pair_outcome(problem: WcmProblem, config: WcmConfig,
+                 model: ReuseTimingModel,
+                 estimator: Optional[OverlapTestabilityEstimator],
+                 cones: Dict[str, int], kind: PortKind,
+                 name_a: str, name_b: str, a_is_ff: bool,
+                 edge_memo: Optional[Dict] = None):
+    """The post-distance outcome of one candidate pair: a sentinel or
+    the pair's :class:`OverlapEstimate`. Shared by the full sweep and
+    the session's incremental replay so both apply identical rules."""
+    key = ((kind, name_a, name_b, a_is_ff)
+           if edge_memo is not None else None)
+    outcome = edge_memo.get(key) if key is not None else None
+    if outcome is None:
+        if not model.pair_feasible(name_a, name_b, kind,
+                                   a_is_ff, False):
+            outcome = _REJ_TIMING
+        elif cones[name_a] & cones[name_b] == 0:
+            outcome = _EDGE
+        elif not a_is_ff or not config.allow_overlap \
+                or estimator is None:
+            # The paper's relaxation (Fig. 4) concerns reusing a
+            # *scan FF* despite overlapped cones; TSV-TSV sharing
+            # keeps the strict non-overlap rule in every method.
+            outcome = _REJ_OVERLAP
+        else:
+            overlap = problem.cones.overlap(name_a, name_b, kind)
+            outcome = estimator.estimate(name_a, name_b, kind, overlap)
+        if key is not None:
+            edge_memo[key] = outcome
+    return outcome
+
+
+def apply_outcome(outcome, name_a: str, name_b: str,
+                  adjacency: Dict[str, Set[str]], stats: GraphStats,
+                  config: WcmConfig) -> None:
+    """Fold one pair outcome into adjacency/statistics — the single
+    place edges, rejection counts and coverage-drop observations are
+    produced, for both the full sweep and the incremental replay."""
+    if outcome is _REJ_DISTANCE:
+        stats.rejected_distance += 1
+    elif outcome is _EDGE:
+        adjacency[name_a].add(name_b)
+        adjacency[name_b].add(name_a)
+        stats.edges += 1
+    elif outcome is _REJ_TIMING:
+        stats.rejected_timing += 1
+    elif outcome is _REJ_OVERLAP:
+        stats.rejected_overlap += 1
+    else:
+        if trace.active() is not None:
+            trace.observe("graph.coverage_drop", outcome.coverage_drop)
+        if outcome.within(config.cov_th, config.p_th):
+            adjacency[name_a].add(name_b)
+            adjacency[name_b].add(name_a)
+            stats.edges += 1
+            stats.overlap_edges += 1
+        else:
+            stats.rejected_testability += 1
+
+
 def build_wcm_graph(problem: WcmProblem, kind: PortKind,
                     available_ffs: Sequence[str], config: WcmConfig,
                     timing_model: Optional[ReuseTimingModel] = None,
                     estimator: Optional[OverlapTestabilityEstimator] = None,
-                    use_grid: bool = True) -> WcmGraph:
+                    use_grid: bool = True,
+                    edge_memo: Optional[Dict] = None,
+                    pair_log: Optional[Dict] = None) -> WcmGraph:
     """Algorithm 1: build the sharing graph for one TSV direction.
 
     When the distance limit is active the pair sweep is grid-indexed: a
@@ -127,6 +229,22 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
     ``rejected_distance`` arithmetically. Candidate pairs still run the
     exact distance check, so edges, statistics and estimator call order
     are identical to the brute-force sweep (``use_grid=False``).
+
+    *edge_memo* (a caller-owned dict, used by ECO sessions) memoizes
+    each candidate pair's post-distance outcome — timing rejection,
+    cone-overlap rejection, clean edge, or the testability estimate —
+    keyed by ``(kind, name_a, name_b, a_is_ff)``. The caller must drop
+    every entry touching a node whose position, timing signature or
+    cone changed. Distance is never memoized (position-dependent and
+    cheap) and estimates are stored as values, so ``d_th``/``cov_th``
+    re-tunes stay correct without invalidation; coverage-drop
+    observations are re-emitted on hits, keeping stats, counters and
+    manifests byte-identical to an unmemoized build.
+
+    *pair_log*, when given, records every visited candidate pair as
+    ``(name_a, name_b, a_is_ff) -> outcome`` (including exact-distance
+    rejections) — the session's incremental replay re-derives the next
+    build from it by re-considering only pairs touching dirty nodes.
     """
     model = timing_model or ReuseTimingModel(problem, config)
     stats = GraphStats()
@@ -161,36 +279,16 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
     # ---- edge construction ----------------------------------------------
     def consider(name_a: str, name_b: str, a_is_ff: bool,
                  skip_distance: bool = False) -> None:
-        if check_distance and not skip_distance:
-            if model.distance_um(name_a, name_b) >= d_th:
-                stats.rejected_distance += 1
-                return
-        if not model.pair_feasible(name_a, name_b, kind, a_is_ff, False):
-            stats.rejected_timing += 1
-            return
-        overlap_bits = cones[name_a] & cones[name_b]
-        if overlap_bits == 0:
-            adjacency[name_a].add(name_b)
-            adjacency[name_b].add(name_a)
-            stats.edges += 1
-            return
-        # The paper's relaxation (Fig. 4) concerns reusing a *scan FF*
-        # despite overlapped cones; TSV-TSV sharing keeps the strict
-        # non-overlap rule in every method.
-        if not a_is_ff or not config.allow_overlap or estimator is None:
-            stats.rejected_overlap += 1
-            return
-        overlap = problem.cones.overlap(name_a, name_b, kind)
-        estimate = estimator.estimate(name_a, name_b, kind, overlap)
-        if trace.active() is not None:
-            trace.observe("graph.coverage_drop", estimate.coverage_drop)
-        if estimate.within(config.cov_th, config.p_th):
-            adjacency[name_a].add(name_b)
-            adjacency[name_b].add(name_a)
-            stats.edges += 1
-            stats.overlap_edges += 1
+        if check_distance and not skip_distance \
+                and model.distance_um(name_a, name_b) >= d_th:
+            outcome = _REJ_DISTANCE
         else:
-            stats.rejected_testability += 1
+            outcome = pair_outcome(problem, config, model, estimator,
+                                   cones, kind, name_a, name_b,
+                                   a_is_ff, edge_memo)
+        if pair_log is not None:
+            pair_log[(name_a, name_b, a_is_ff)] = outcome
+        apply_outcome(outcome, name_a, name_b, adjacency, stats, config)
 
     total_pairs = len(tsvs) * (len(tsvs) - 1) // 2 + len(ffs) * len(tsvs)
     if not (check_distance and use_grid):
@@ -200,35 +298,36 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
         for ff in ffs:
             for tsv in tsvs:
                 consider(ff, tsv, a_is_ff=True)
+        # Counter parity with the grid-indexed path (so `repro trace
+        # diff` sees no drift between modes): report the candidate/
+        # skipped split the grid sweep would have produced over the
+        # same geometry. With no distance check there is no grid — the
+        # sweep visits every pair; with one, recount the 3x3 bucket
+        # candidates without re-running any feasibility work.
+        if not check_distance:
+            candidate_pairs = total_pairs
+        elif d_th <= 0.0:
+            candidate_pairs = 0
+        else:
+            candidates = _bucket_candidates(tsvs, problem.location_of, d_th)
+            candidate_pairs = sum(
+                sum(1 for j in candidates(tsv_a) if j > i)
+                for i, tsv_a in enumerate(tsvs))
+            candidate_pairs += sum(len(candidates(ff)) for ff in ffs)
+        instrument.count("graph.grid_candidate_pairs", candidate_pairs)
+        instrument.count("graph.grid_skipped_pairs",
+                         total_pairs - candidate_pairs)
     elif d_th <= 0.0:
         # distance >= d_th holds for every pair: all rejected, no sweep.
         stats.rejected_distance += total_pairs
+        instrument.count("graph.grid_candidate_pairs", 0)
+        instrument.count("graph.grid_skipped_pairs", total_pairs)
     else:
         # Spatial hash at cell size d_th: any pair with Manhattan
         # distance < d_th sits in the same or an adjacent bucket, so
         # the 3x3 neighbourhood is a sound candidate superset.
-        inv_cell = 1.0 / d_th
         location_of = problem.location_of
-
-        def bucket_of(name: str) -> Tuple[int, int]:
-            x, y = location_of(name)
-            return (math.floor(x * inv_cell), math.floor(y * inv_cell))
-
-        buckets: Dict[Tuple[int, int], List[int]] = {}
-        for j, tsv in enumerate(tsvs):
-            buckets.setdefault(bucket_of(tsv), []).append(j)
-
-        def candidates(name: str) -> List[int]:
-            """TSV indices in the 3x3 bucket neighbourhood, ascending."""
-            bx, by = bucket_of(name)
-            found: List[int] = []
-            for dx in _GRID_OFFSETS:
-                for dy in _GRID_OFFSETS:
-                    hit = buckets.get((bx + dx, by + dy))
-                    if hit:
-                        found.extend(hit)
-            found.sort()
-            return found
+        candidates = _bucket_candidates(tsvs, location_of, d_th)
 
         candidate_pairs = 0
         if not use_numpy():
@@ -299,6 +398,10 @@ def build_wcm_graph(problem: WcmProblem, kind: PortKind,
                         if keep[pos + offset]:
                             consider(name, tsvs[j], a_is_ff,
                                      skip_distance=True)
+                        elif pair_log is not None:
+                            # bulk-counted above; log for the replay
+                            pair_log[(name, tsvs[j], a_is_ff)] = \
+                                _REJ_DISTANCE
                     pos += len(js)
         # Pairs outside the neighbourhood have distance >= d_th by
         # construction; charge them without visiting.

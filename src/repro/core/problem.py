@@ -54,6 +54,10 @@ class WcmProblem:
     #: cache of cone bitsets keyed by TSV kind, shared by repeated
     #: graph builds over this problem (see ``core.graph``).
     cone_bitset_cache: Dict = field(default_factory=dict)
+    #: reference-build wrapper instance -> the bare-netlist object (TSV
+    #: port or FF) it was placed at; lets an ECO session mirror a
+    #: position edit into ``dedicated_netlist`` without re-inserting.
+    dedicated_anchors: Dict[str, str] = field(default_factory=dict)
 
     # -- convenience views ------------------------------------------------
     @property
@@ -95,6 +99,7 @@ class WcmProblem:
             dedicated_critical_path_ps=self.dedicated_critical_path_ps,
             timing_context=context,
             cone_bitset_cache=self.cone_bitset_cache,
+            dedicated_anchors=self.dedicated_anchors,
         )
 
 
@@ -132,6 +137,7 @@ def build_problem(netlist: Netlist, clock: ClockConstraint = UNCONSTRAINED,
         dedicated_critical_path_ps=max(timing.critical_path_ps,
                                        test_timing.critical_path_ps),
         timing_context=context,
+        dedicated_anchors=dict(report.placement_anchors),
     )
 
 

@@ -42,9 +42,13 @@ def _serpentine_order(flip_flops: List[Instance], rows: int = 16) -> List[Instan
     def row_of(ff: Instance) -> int:
         return min(rows - 1, int((ff.y - y_min) / span * rows))
 
+    # Single-pass bucketing keeps each row in flip_flops order (same as
+    # a per-row filter), so the stable x-sort yields identical chains.
+    buckets: List[List[Instance]] = [[] for _ in range(rows)]
+    for ff in flip_flops:
+        buckets[row_of(ff)].append(ff)
     ordered: List[Instance] = []
-    for row in range(rows):
-        members = [ff for ff in flip_flops if row_of(ff) == row]
+    for row, members in enumerate(buckets):
         members.sort(key=lambda ff: ff.x, reverse=(row % 2 == 1))
         ordered.extend(members)
     return ordered

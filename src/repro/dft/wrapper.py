@@ -156,6 +156,11 @@ class InsertionReport:
     #: entry per excluded TSV) — lets sign-off repair attribute a
     #: violating path to the group that created it
     group_instances: List[List[str]] = field(default_factory=list)
+    #: inserted instance name -> name of the pre-existing object (TSV
+    #: port or reused FF) whose site it was placed at; lets an ECO
+    #: session mirror a position edit onto the wrapped netlist instead
+    #: of re-running insertion
+    placement_anchors: Dict[str, str] = field(default_factory=dict)
 
 
 def insert_wrappers(netlist: Netlist, plan: WrapperPlan
@@ -190,7 +195,8 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
         counters["net"] += 1
         return work.add_net(f"wrap_{prefix}_{counters['net']}").name
 
-    def new_mux(a: str, b: str, out: str, x: float, y: float) -> Instance:
+    def new_mux(a: str, b: str, out: str, x: float, y: float,
+                anchor: str) -> Instance:
         counters["mux"] += 1
         report.muxes += 1
         inst = work.add_instance(f"wrapmux_{counters['mux']}", "MUX2_X1")
@@ -199,9 +205,11 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
         work.connect(inst.name, "S", test_mode_net)
         work.connect(inst.name, "Z", out)
         inst.x, inst.y = x, y
+        report.placement_anchors[inst.name] = anchor
         return inst
 
-    def new_xor(a: str, b: str, out: str, x: float, y: float) -> Instance:
+    def new_xor(a: str, b: str, out: str, x: float, y: float,
+                anchor: str) -> Instance:
         counters["xor"] += 1
         report.xors += 1
         inst = work.add_instance(f"wrapxor_{counters['xor']}", "XOR2_X1")
@@ -209,9 +217,11 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
         work.connect(inst.name, "B", b)
         work.connect(inst.name, "Z", out)
         inst.x, inst.y = x, y
+        report.placement_anchors[inst.name] = anchor
         return inst
 
-    def new_buffer(source_net: str, x: float, y: float) -> str:
+    def new_buffer(source_net: str, x: float, y: float,
+                   anchor: str) -> str:
         """Per-group X2 driver buffer; returns its output net."""
         counters["buf"] += 1
         inst = work.add_instance(f"wrapbuf_{counters['buf']}", "BUF_X2")
@@ -219,9 +229,11 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
         out = new_net("bufz")
         work.connect(inst.name, "Z", out)
         inst.x, inst.y = x, y
+        report.placement_anchors[inst.name] = anchor
         return out
 
-    def new_wrapper_cell(d_net: str, x: float, y: float) -> Instance:
+    def new_wrapper_cell(d_net: str, x: float, y: float,
+                         anchor: str) -> Instance:
         counters["cell"] += 1
         report.wrapper_cells += 1
         inst = work.add_instance(f"wrapcell_{counters['cell']}", "SDFF_X1")
@@ -229,6 +241,7 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
         work.connect(inst.name, "CK", clock_net)
         work.connect(inst.name, "Q", new_net("q"))
         inst.x, inst.y = x, y
+        report.placement_anchors[inst.name] = anchor
         return inst
 
     _prefixes = {"mux": "wrapmux", "xor": "wrapxor", "cell": "wrapcell",
@@ -255,23 +268,26 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
                 source_net = ff.output_net()
                 source_pos = (ff.x, ff.y)
                 cell_name = group.reused_ff
+                source_anchor = group.reused_ff
                 if source_net is None:
                     raise NetlistError(f"{group.reused_ff} has no Q net")
             else:
                 cell = new_wrapper_cell(first_port.net, first_port.x,
-                                        first_port.y)
+                                        first_port.y, group.tsvs[0])
                 source_net = cell.output_net()
                 source_pos = (first_port.x, first_port.y)
                 cell_name = cell.name
+                source_anchor = group.tsvs[0]
             report.group_cells.append(cell_name)
-            drive_net = new_buffer(source_net, *source_pos)
+            drive_net = new_buffer(source_net, *source_pos, source_anchor)
             for tsv in group.tsvs:
                 port = work.port(tsv)
                 tsv_net = work.net(port.net)
                 sinks = [s for s in tsv_net.sinks
                          if not (s.is_port and s.owner_name == port.name)]
                 mux_out = new_net("in")
-                new_mux(tsv_net.name, drive_net, mux_out, port.x, port.y)
+                new_mux(tsv_net.name, drive_net, mux_out, port.x, port.y,
+                        tsv)
                 report.mux_out_nets[tsv] = mux_out
                 for sink in sinks:
                     work.retarget_sink(sink, mux_out)
@@ -288,10 +304,10 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
                 for tsv in group.tsvs:
                     port = work.port(tsv)
                     out = new_net("ob")
-                    new_xor(chain, port.net, out, ff.x, ff.y)
+                    new_xor(chain, port.net, out, ff.x, ff.y, ff.name)
                     chain = out
                 mux_out = new_net("obm")
-                new_mux(d_net, chain, mux_out, ff.x, ff.y)
+                new_mux(d_net, chain, mux_out, ff.x, ff.y, ff.name)
                 work.connect(ff.name, "D", mux_out)
             else:
                 # Dedicated capture cell: XOR-merge the group, then latch.
@@ -299,9 +315,11 @@ def insert_wrappers(netlist: Netlist, plan: WrapperPlan
                 for tsv in group.tsvs[1:]:
                     port = work.port(tsv)
                     out = new_net("ob")
-                    new_xor(chain, port.net, out, first_port.x, first_port.y)
+                    new_xor(chain, port.net, out, first_port.x, first_port.y,
+                            group.tsvs[0])
                     chain = out
-                cell = new_wrapper_cell(chain, first_port.x, first_port.y)
+                cell = new_wrapper_cell(chain, first_port.x, first_port.y,
+                                        group.tsvs[0])
                 report.group_cells.append(cell.name)
 
     for group in plan.groups:

@@ -20,6 +20,7 @@ The algorithms depend only on the *relative* structure of these numbers.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -147,11 +148,13 @@ class CellType:
                 f"cell {self.name}: unknown logic function {self.function!r}"
             )
 
-    @property
+    # cached: cells are immutable and these sit on per-gate hot paths
+    # (cached_property stores via __dict__, which frozen= permits)
+    @functools.cached_property
     def input_pins(self) -> List[CellPin]:
         return [p for p in self.pins if p.direction is PinDirection.INPUT]
 
-    @property
+    @functools.cached_property
     def output_pin(self) -> CellPin:
         outs = [p for p in self.pins if p.direction is PinDirection.OUTPUT]
         if len(outs) != 1:

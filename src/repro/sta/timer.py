@@ -30,11 +30,20 @@ Conventions:
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.netlist.core import Instance, Net, Netlist, Pin, PortDirection, PortKind
+from repro.netlist.core import (
+    Instance,
+    Net,
+    Netlist,
+    Pin,
+    Port,
+    PortDirection,
+    PortKind,
+)
 from repro.netlist.topology import topological_instances
 from repro.runtime import instrument, trace
 from repro.runtime.backend import use_numpy
@@ -301,16 +310,26 @@ class TimingContext:
     # Preparation (once per netlist, or after invalidation)
     # ------------------------------------------------------------------
     def _sink_cap(self, sink: Pin) -> float:
+        # Position-independent (port kind / library cap), so cached per
+        # pin across invalidate_nets refreshes.
+        key = (sink.owner_name, sink.pin_name)
+        cached = self._sink_cap_cache.get(key)
+        if cached is not None:
+            return cached
         if sink.is_port:
             port = self.netlist.port(sink.owner_name)
-            return self.tsv_cap_ff if port.kind is PortKind.TSV_OUTBOUND else 2.0
-        if sink.pin_name == "SI":
+            value = (self.tsv_cap_ff
+                     if port.kind is PortKind.TSV_OUTBOUND else 2.0)
+        elif sink.pin_name == "SI":
             # Scan-shift paths are timed at the (slow) shift clock and
             # chain routing rides dedicated resources; excluding SI
             # keeps functional/test sign-off independent of chain order.
-            return 0.0
-        inst = self.netlist.instance(sink.owner_name)
-        return inst.cell.input_cap(sink.pin_name)
+            value = 0.0
+        else:
+            inst = self.netlist.instance(sink.owner_name)
+            value = inst.cell.input_cap(sink.pin_name)
+        self._sink_cap_cache[key] = value
+        return value
 
     def _compute_positions(self) -> Dict[str, Tuple[float, float]]:
         pos: Dict[str, Tuple[float, float]] = {}
@@ -356,6 +375,7 @@ class TimingContext:
 
     def _prepare(self) -> None:
         netlist = self.netlist
+        self._sink_cap_cache: Dict[Tuple[str, str], float] = {}
         self._pos = self._compute_positions()
         self._topo: List[str] = list(topological_instances(netlist))
         self._ffs: List[Instance] = netlist.flip_flops()
@@ -388,6 +408,36 @@ class TimingContext:
             port.net for port in netlist.ports.values()
             if port.kind in _UNTIMED_PORT_KINDS and port.net is not None
         }
+
+        # Reverse maps for the delta sweeps. Structure-only, so they
+        # survive invalidate_nets and are rebuilt only here.
+        self._topo_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._topo)}
+        self._consumers: Dict[str, List[str]] = {}
+        for name in self._topo:
+            for _pin, net in self._inst_pairs[name]:
+                entry = self._consumers.setdefault(net, [])
+                if not entry or entry[-1] != name:
+                    entry.append(name)
+        self._ffd_sinks: Dict[str, List[Instance]] = {}
+        for inst in self._ffs:
+            net = inst.connections.get("D")
+            if net is not None:
+                self._ffd_sinks.setdefault(net, []).append(inst)
+        self._oport_sinks: Dict[str, List[Port]] = {}
+        for port in netlist.ports.values():
+            if port.direction is PortDirection.OUTPUT \
+                    and port.net is not None:
+                self._oport_sinks.setdefault(port.net, []).append(port)
+        #: case -> propagated constants; pure in (structure, case)
+        self._const_cache: Dict[Tuple, Dict[str, int]] = {}
+        #: case -> (ff endpoint plan, port endpoint plan) for
+        #: analyze_delta; pure in (structure, case)
+        self._endpoint_plans: Dict[Tuple, Tuple[list, list]] = {}
+        #: case -> instance -> timeable (pin, net) pairs after case
+        #: pruning; pure in (structure, case) like the plans above
+        self._active_pairs: Dict[Tuple, Dict[str, List[Tuple[str, str]]]] = {}
+
         self._prepared = True
         self._vplan = None
         instrument.count("sta.context_builds")
@@ -404,27 +454,60 @@ class TimingContext:
         """Refresh loads / wire delays / driver delays for nets whose
         endpoints moved or whose pin loads changed in place.
 
-        Positions are refreshed wholesale (they are cheap); the per-net
-        quantities are recomputed only for *net_names*. Adding or
-        removing instances, nets or connections changes the topological
-        order — use :meth:`invalidate` for that.
+        Callers must pass *every* net incident to a moved object (the
+        positions of the named nets' pin owners are re-read first, then
+        the per-net quantities recomputed — an unlisted net keeps its
+        cached geometry). Output-port sinks may also have been rewired
+        in place on the listed nets (a scan restitch moves the scan-out
+        port with the chain tail): the reverse endpoint map is
+        refreshed per net. Adding or removing instances or gate
+        connections changes the topological order — use
+        :meth:`invalidate` for that.
         """
         if not self._prepared:
             return
         netlist = self.netlist
-        self._pos = self._compute_positions()
+        pos = self._pos
+        nets = []
         for name in net_names:
             net = netlist.nets.get(name)
             if net is None:
                 # The net is gone: that is a structural edit.
                 self.invalidate()
                 return
-            self._loads[name] = self._net_load(net)
+            nets.append(net)
+            pins = net.sinks if net.driver is None \
+                else [net.driver] + net.sinks
+            for pin in pins:
+                owner = pin.owner_name
+                obj = (netlist.ports.get(owner) if pin.is_port
+                       else netlist.instances.get(owner))
+                if obj is not None:
+                    pos[owner] = (obj.x, obj.y)
+        plans_stale = False
+        for net in nets:
+            self._loads[net.name] = self._net_load(net)
             self._net_wire_delays(net)
             if net.driver is not None and not net.driver.is_port:
                 inst = netlist.instance(net.driver.owner_name)
                 self._gate_delay[inst.name] = inst.cell.delay_ps(
-                    self._loads.get(name, 0.0))
+                    self._loads.get(net.name, 0.0))
+            oports = [port for port in
+                      (netlist.ports.get(s.owner_name)
+                       for s in net.sinks if s.is_port)
+                      if port is not None
+                      and port.direction is PortDirection.OUTPUT]
+            old = self._oport_sinks.get(net.name, [])
+            if [p.name for p in oports] != [p.name for p in old]:
+                plans_stale = True
+            if oports:
+                self._oport_sinks[net.name] = oports
+            else:
+                self._oport_sinks.pop(net.name, None)
+        if plans_stale:
+            # a port endpoint moved between nets: the per-case endpoint
+            # plans snapshot the port->net map, so drop them
+            self._endpoint_plans.clear()
         self._vplan = None  # baked wire/gate delay arrays are stale
         instrument.count("sta.context_invalidations")
 
@@ -452,6 +535,57 @@ class TimingContext:
                 consts[out] = value
         return consts
 
+    def _consts_for(self, case: Dict[str, int]) -> Dict[str, int]:
+        """Cached constant propagation: pure in (structure, case), so
+        repeated sign-off analyses of the same case share one sweep."""
+        key = tuple(sorted(case.items()))
+        cached = self._const_cache.get(key)
+        if cached is None:
+            cached = self._propagate_constants(case)
+            self._const_cache[key] = cached
+        return cached
+
+    def _active_inputs_fn(self, consts: Dict[str, int], untimed_nets,
+                          case_key: Optional[Tuple] = None):
+        """The (pin, net) pairs of an instance that can propagate a
+        transition — shared by :meth:`analyze` and
+        :meth:`analyze_delta` so both prune identically.
+
+        Pure in (structure, case): ``_inst_pairs`` already excludes the
+        scan/clock pins, and *consts*/*untimed_nets* derive from the
+        case alone. With *case_key* the per-instance results are cached
+        on the context (dropped on ``_prepare``), so delta analyses
+        skip the pruning comprehensions. Callers only iterate the
+        returned lists.
+        """
+        inst_pairs = self._inst_pairs
+        cache = (self._active_pairs.setdefault(case_key, {})
+                 if case_key is not None else None)
+
+        def active_input_nets(inst: Instance) -> List[tuple]:
+            if cache is not None:
+                hit = cache.get(inst.name)
+                if hit is not None:
+                    return hit
+            out_net = inst.output_net()
+            if out_net is not None and out_net in consts:
+                pairs: List[tuple] = []
+            else:
+                pairs = [(p, n) for p, n in inst_pairs[inst.name]
+                         if n not in untimed_nets]
+                if inst.cell.function == "mux2":
+                    s_net = inst.connections.get("S")
+                    s_val = consts.get(s_net, _X) if s_net else _X
+                    if s_val == 0:
+                        pairs = [(p, n) for p, n in pairs if p != "B"]
+                    elif s_val == 1:
+                        pairs = [(p, n) for p, n in pairs if p != "A"]
+            if cache is not None:
+                cache[inst.name] = pairs
+            return pairs
+
+        return active_input_nets
+
     def analyze(self, constraint: ClockConstraint = UNCONSTRAINED,
                 case: Optional[Dict[str, int]] = None) -> TimingResult:
         """STA under *constraint*, optionally with case analysis.
@@ -468,11 +602,9 @@ class TimingContext:
         loads = self._loads
         gate_delay = self._gate_delay
         wire_delays = self._wire_delays
-        consts = self._propagate_constants(case) if case else {}
+        consts = self._consts_for(case) if case else {}
 
         untimed_nets = self._untimed_base | set(consts)
-
-        inst_pairs = self._inst_pairs
 
         # Numpy backend: the levelized sweeps cover exactly the no-case
         # analysis; case analysis reshapes the active graph per call and
@@ -483,21 +615,9 @@ class TimingContext:
                 self._vplan = _VectorPlan(self)
             vplan = self._vplan
 
-        def active_input_nets(inst: Instance) -> List[tuple]:
-            """(pin, net) pairs that can propagate a transition."""
-            out_net = inst.output_net()
-            if out_net is not None and out_net in consts:
-                return []
-            pairs = [(p, n) for p, n in inst_pairs[inst.name]
-                     if n not in untimed_nets]
-            if inst.cell.function == "mux2":
-                s_net = inst.connections.get("S")
-                s_val = consts.get(s_net, _X) if s_net else _X
-                if s_val == 0:
-                    pairs = [(p, n) for p, n in pairs if p != "B"]
-                elif s_val == 1:
-                    pairs = [(p, n) for p, n in pairs if p != "A"]
-            return pairs
+        case_key = tuple(sorted(case.items())) if case else ()
+        active_input_nets = self._active_inputs_fn(consts, untimed_nets,
+                                                   case_key)
 
         # ---- forward: arrival at net driver outputs --------------------
         if vplan is not None:
@@ -613,6 +733,287 @@ class TimingContext:
             arrival_ps=arrival,
             required_ps=required,
             net_load_ff=dict(loads),
+            endpoints=endpoints,
+            port_slack_ps=port_slack,
+            critical_path_ps=critical,
+        )
+        if trace.active() is not None:
+            worst = result.worst_slack_ps
+            if worst is not INF:
+                trace.observe("sta.worst_slack_ps", worst)
+        return result
+
+    def analyze_delta(self, constraint: ClockConstraint = UNCONSTRAINED,
+                      case: Optional[Dict[str, int]] = None, *,
+                      previous: TimingResult,
+                      dirty_nets) -> TimingResult:
+        """Incremental STA: patch *previous* instead of full sweeps.
+
+        Contract: *previous* came from :meth:`analyze` (or an earlier
+        :meth:`analyze_delta`) on THIS context under the same
+        *constraint* and *case*, and :meth:`invalidate_nets` has since
+        been called with a superset of *dirty_nets* — every net whose
+        load, wire delays or driver gate delay may have changed (i.e.
+        all nets incident to a moved instance or port). The result is
+        byte-identical to a fresh :meth:`analyze`: untouched arrival/
+        required entries are reused, touched ones are recomputed with
+        the exact full-sweep formulas, and changes propagate through
+        the same topological orders. Endpoints on untouched capture
+        nets are reused from *previous*; the critical path is re-folded
+        over every endpoint. Always scalar — the numpy ``_VectorPlan`` sweeps are
+        byte-identical to the scalar loops, so the delta matches both
+        backends.
+        """
+        if not self._prepared:
+            return self.analyze(constraint, case)
+        if previous.constraint != constraint:
+            raise TimingError(
+                f"{self.netlist.name}: analyze_delta constraint differs "
+                f"from the previous result's")
+        instrument.count("sta.analyze_calls")
+        instrument.count("sta.delta_analyze_calls")
+        netlist = self.netlist
+        gate_delay = self._gate_delay
+        wire_delays = self._wire_delays
+        consts = self._consts_for(case) if case else {}
+        untimed_nets = self._untimed_base | set(consts)
+        case_key = tuple(sorted(case.items())) if case else ()
+        active_input_nets = self._active_inputs_fn(consts, untimed_nets,
+                                                   case_key)
+        dirty = set(dirty_nets)
+
+        # ---- forward: recompute dirty / downstream-of-changed ----------
+        # Worklist in topological order (a heap over topo indices): the
+        # exact instance set a full scan would recompute — drivers and
+        # consumers of dirty nets, plus consumers of any net whose
+        # arrival changed — without touching the clean remainder.
+        arrival = dict(previous.arrival_ps)
+        changed = set()
+        for inst in self._ffs:
+            out = inst.output_net()
+            if out is not None and out in dirty:
+                value = gate_delay[inst.name]
+                if arrival.get(out) != value:
+                    arrival[out] = value
+                    changed.add(out)
+
+        topo_index = self._topo_index
+        consumers = self._consumers
+        pending: List[int] = []
+        scheduled = set()
+
+        def schedule_consumers(net_name: str) -> None:
+            for cname in consumers.get(net_name, ()):
+                idx = topo_index[cname]
+                if idx not in scheduled:
+                    scheduled.add(idx)
+                    heapq.heappush(pending, idx)
+
+        for net_name in dirty:
+            schedule_consumers(net_name)
+            net = netlist.nets.get(net_name)
+            if net is not None and net.driver is not None \
+                    and not net.driver.is_port:
+                idx = topo_index.get(net.driver.owner_name)
+                if idx is not None and idx not in scheduled:
+                    scheduled.add(idx)
+                    heapq.heappush(pending, idx)
+        for net_name in changed:
+            schedule_consumers(net_name)
+
+        while pending:
+            name = self._topo[heapq.heappop(pending)]
+            inst = netlist.instance(name)
+            out = inst.output_net()
+            if out is None or out in consts:
+                continue
+            worst_in = 0.0
+            for pin_name, net_name in active_input_nets(inst):
+                pin_arrival = (arrival.get(net_name, 0.0)
+                               + wire_delays.get(
+                                   (net_name, name, pin_name), 0.0))
+                worst_in = max(worst_in, pin_arrival)
+            value = worst_in + gate_delay[name]
+            if arrival.get(out) != value:
+                arrival[out] = value
+                changed.add(out)
+                schedule_consumers(out)
+
+        # ---- endpoints: patch where the capture net was touched ---------
+        # An endpoint's arrival is arrival[net] + a wire delay of that
+        # net; required depends only on the (unchanged) constraint. So
+        # endpoints whose capture net is neither dirty nor downstream of
+        # a change are reused from *previous* — only the critical-path
+        # max is re-folded over everything (cheap float reads).
+        period = constraint.period_ps if constraint.is_constrained else INF
+        ff_required = period - constraint.setup_ps if period is not INF else INF
+        port_required = (period - constraint.output_margin_ps
+                         if period is not INF else INF)
+
+        touched = changed | dirty
+        # Per-case endpoint plan: the (name, capture net) pairs the full
+        # sweep would visit, in its exact order. Structure- and
+        # case-dependent only (both route through _prepare on change),
+        # so *previous.endpoints* — produced in the same order — can be
+        # reused index-aligned instead of via an O(n) dict build per
+        # call. Any misalignment just recomputes the endpoint from the
+        # arrival map, which is always correct.
+        plans = self._endpoint_plans.get(case_key)
+        if plans is None:
+            ff_plan = []
+            for inst in self._ffs:
+                net_name = inst.connections.get("D")
+                if net_name is not None and net_name not in untimed_nets:
+                    ff_plan.append((inst.name, net_name))
+            port_plan = []
+            for port in netlist.ports.values():
+                if port.direction is PortDirection.OUTPUT \
+                        and port.net is not None and port.net not in consts:
+                    port_plan.append((port.name, port.net))
+            plans = (ff_plan, port_plan)
+            self._endpoint_plans[case_key] = plans
+        ff_plan, port_plan = plans
+        prev_list = previous.endpoints
+        aligned = len(prev_list) == len(ff_plan) + len(port_plan)
+
+        endpoints: List[EndpointSlack] = []
+        port_slack: Dict[str, float] = {}
+        critical = 0.0
+
+        for i, (name, net_name) in enumerate(ff_plan):
+            endpoint = prev_list[i] if aligned else None
+            if endpoint is not None and (net_name in touched
+                                         or endpoint.kind != "ff_d"
+                                         or endpoint.name != name
+                                         or endpoint.required_ps
+                                         != ff_required):
+                endpoint = None
+            if endpoint is None:
+                pin_arrival = (arrival.get(net_name, 0.0)
+                               + wire_delays.get(
+                                   (net_name, name, "D"), 0.0))
+                endpoint = EndpointSlack(
+                    kind="ff_d",
+                    name=name,
+                    arrival_ps=pin_arrival,
+                    required_ps=ff_required,
+                )
+            critical = max(critical,
+                           endpoint.arrival_ps + constraint.setup_ps)
+            endpoints.append(endpoint)
+
+        base = len(ff_plan)
+        for i, (name, net_name) in enumerate(port_plan):
+            endpoint = prev_list[base + i] if aligned else None
+            if endpoint is not None and (net_name in touched
+                                         or endpoint.kind != "port"
+                                         or endpoint.name != name
+                                         or endpoint.required_ps
+                                         != port_required):
+                endpoint = None
+            if endpoint is None:
+                pin_arrival = (arrival.get(net_name, 0.0)
+                               + wire_delays.get(
+                                   (net_name, name, ""), 0.0))
+                endpoint = EndpointSlack(
+                    kind="port", name=name,
+                    arrival_ps=pin_arrival, required_ps=port_required,
+                )
+            critical = max(critical,
+                           endpoint.arrival_ps + constraint.output_margin_ps)
+            endpoints.append(endpoint)
+            port_slack[name] = endpoint.slack_ps
+
+        # ---- backward: recompute required where inputs changed ----------
+        required = dict(previous.required_ps)
+        prev_required = previous.required_ps
+
+        def recompute_required(n: str) -> float:
+            """Exactly the full sweep's min over all contributions to
+            net *n*, read off the reverse maps. Every consumer's own
+            required is final by the time *n*'s driver is visited in
+            the reversed topological order."""
+            vals: List[float] = []
+            if n not in untimed_nets:
+                for ff in self._ffd_sinks.get(n, ()):
+                    vals.append(ff_required - wire_delays.get(
+                        (n, ff.name, "D"), 0.0))
+            for oport in self._oport_sinks.get(n, ()):
+                vals.append(port_required - wire_delays.get(
+                    (n, oport.name, ""), 0.0))
+            for cname in self._consumers.get(n, ()):
+                cinst = netlist.instance(cname)
+                cout = cinst.output_net()
+                if cout is None or cout in consts:
+                    continue
+                out_required = required.get(cout, INF)
+                if out_required == INF:
+                    continue
+                budget = out_required - gate_delay[cname]
+                for pin_name, net_name in active_input_nets(cinst):
+                    if net_name == n:
+                        vals.append(budget - wire_delays.get(
+                            (n, cname, pin_name), 0.0))
+            return min(vals) if vals else INF
+
+        # Worklist in reverse topological order (max-heap over topo
+        # indices): visits exactly the instances whose output net needs
+        # a fresh required time, growing the set through active inputs
+        # as the full reversed scan would.
+        needs = set(dirty)
+        req_changed = set()
+        recomputed = set()
+        rev_pending: List[int] = []
+        rev_scheduled = set()
+
+        def schedule_driver(net_name: str) -> None:
+            net = netlist.nets.get(net_name)
+            if net is None or net.driver is None or net.driver.is_port:
+                return
+            idx = self._topo_index.get(net.driver.owner_name)
+            if idx is not None and idx not in rev_scheduled:
+                rev_scheduled.add(idx)
+                heapq.heappush(rev_pending, -idx)
+
+        for net_name in dirty:
+            schedule_driver(net_name)
+
+        while rev_pending:
+            name = self._topo[-heapq.heappop(rev_pending)]
+            inst = netlist.instance(name)
+            out = inst.output_net()
+            if out is None or out in consts:
+                continue
+            if out in needs:
+                recomputed.add(out)
+                new = recompute_required(out)
+                if new == INF:
+                    required.pop(out, None)
+                else:
+                    required[out] = new
+                if new != prev_required.get(out, INF):
+                    req_changed.add(out)
+            if out in req_changed or (out in dirty
+                                      and required.get(out, INF) < INF):
+                for _pin, net_name in active_input_nets(inst):
+                    needs.add(net_name)
+                    schedule_driver(net_name)
+        # Nets not driven by an active combinational gate (FF outputs,
+        # port-driven, undriven, constant-out drivers) never pass the
+        # loop; their consumers are all finalized now.
+        for n in needs - recomputed:
+            new = recompute_required(n)
+            if new == INF:
+                required.pop(n, None)
+            else:
+                required[n] = new
+
+        result = TimingResult(
+            netlist_name=netlist.name,
+            constraint=constraint,
+            arrival_ps=arrival,
+            required_ps=required,
+            net_load_ff=dict(self._loads),
             endpoints=endpoints,
             port_slack_ps=port_slack,
             critical_path_ps=critical,

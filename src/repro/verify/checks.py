@@ -399,6 +399,149 @@ def check_metamorphic_isolated_ff(subject: Subject) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# ECO sessions: incremental vs cold, plus inverse-edit metamorphics
+# ---------------------------------------------------------------------------
+#: counter families that legitimately differ between a warm session
+#: solve and a cold one (cache hit counts, delta-STA call counts);
+#: everything else — clique merges, flow ECO rounds, grid pair splits —
+#: must match exactly
+_ECO_VOLATILE_COUNTERS = ("sta.", "session.", "sim.", "atpg.",
+                          "graph.cone_bitset_builds")
+
+
+def _eco_netlist_payload(netlist) -> dict:
+    """Canonical structural payload of a netlist (not a dataclass, so
+    :func:`fingerprint` needs the explicit rendering)."""
+    return {
+        "name": netlist.name,
+        "ports": [(p.name, p.kind.value, p.net, p.x, p.y)
+                  for p in netlist.ports.values()],
+        "instances": [(i.name, i.cell.name,
+                       tuple(sorted(i.connections.items())), i.x, i.y)
+                      for i in netlist.instances.values()],
+        "nets": [(net.name, net.driver, tuple(net.sinks))
+                 for net in netlist.nets.values()],
+    }
+
+
+def _eco_result_fp(result) -> str:
+    """Fingerprint of everything a solve produces (the byte-identity
+    oracle surface: plan, wrapped netlist, timings, stats, order)."""
+    from repro.util.fingerprint import fingerprint
+
+    return fingerprint({
+        "plan": result.plan,
+        "insertion": result.insertion,
+        "final_timing": result.final_timing,
+        "test_mode_timing": result.test_mode_timing,
+        "graph_stats": result.graph_stats,
+        "partitions": result.partitions,
+        "order": [kind.value for kind in result.order],
+        "wrapped": _eco_netlist_payload(result.wrapped_netlist),
+    })
+
+
+def _eco_solve(runner) -> tuple:
+    """Run one solve under a metrics capture; returns
+    (result, stable-counter dict, manifest fingerprint)."""
+    from repro.runtime import instrument
+    from repro.runtime.trace import manifest_fingerprint
+
+    with instrument.collect() as report:
+        result = runner()
+    counters = {name: value for name, value in sorted(
+                    report.counters.items())
+                if not name.startswith(_ECO_VOLATILE_COUNTERS)}
+    manifest_fp = manifest_fingerprint({
+        "schema": "eco", "label": "eco", "config": None,
+        "seed": None, "scale": None, "metrics": counters,
+        "result_fingerprint": _eco_result_fp(result),
+    })
+    return result, counters, manifest_fp
+
+
+def check_eco(subject: Subject) -> List[str]:
+    """Incremental :class:`~repro.core.session.WcmSession` solves vs a
+    cold ``run_wcm_flow`` oracle over a deterministic edit stream —
+    results, stable per-category counters and manifest fingerprints
+    must be byte-identical — plus inverse-edit metamorphics: an edit
+    followed by its exact inverse (FF move-back, ``d_th`` restore,
+    ``AddTsv``/``RemoveTsv``) must reproduce the pre-edit solve."""
+    from repro.core.flow import run_wcm_flow
+    from repro.core.problem import build_problem
+    from repro.core.session import (AddTsv, MoveFf, MoveTsv, RemoveTsv,
+                                    SetThreshold, WcmSession)
+
+    out: List[str] = []
+    session = WcmSession(subject.problem.netlist.clone(), subject.config,
+                         already_prepared=True)
+    rng = DeterministicRng(subject.spec.seed).child("verify", "eco")
+
+    def oracle() -> tuple:
+        clone = session.netlist.clone()
+        config = session.config
+        problem = build_problem(clone, clock=config.scenario.clock,
+                                already_prepared=True)
+        return _eco_solve(lambda: run_wcm_flow(problem, config))
+
+    def step(tag: str) -> tuple:
+        got, got_counters, got_manifest = _eco_solve(session.solve)
+        want, want_counters, want_manifest = oracle()
+        got_fp = _eco_result_fp(got)
+        if got_fp != _eco_result_fp(want):
+            out.append(f"eco[{tag}]: session result differs from cold "
+                       f"solve (fallback={session.last_fallback}, "
+                       f"dirty_frac={session.last_dirty_frac:.3f})")
+        if got_counters != want_counters:
+            keys = [k for k in set(got_counters) | set(want_counters)
+                    if got_counters.get(k) != want_counters.get(k)]
+            out.append(f"eco[{tag}]: counters differ on {sorted(keys)}")
+        if got_manifest != want_manifest:
+            out.append(f"eco[{tag}]: manifest fingerprints differ")
+        return got_fp, got_manifest
+
+    netlist = session.netlist
+    ffs = [inst.name for inst in netlist.scan_flip_flops()]
+    tsvs = [p.name for p in netlist.ports.values() if p.is_tsv]
+    span = max(max((p.x for p in netlist.ports.values()), default=100.0),
+               100.0)
+
+    base = step("base")
+    if ffs:
+        name = rng.choice(ffs)
+        inst = netlist.instances[name]
+        home = (inst.x, inst.y)
+        session.apply(MoveFf(name, inst.x + span * 0.01 + 1.0,
+                             inst.y + span * 0.005))
+        step("move-ff")
+        session.apply(MoveFf(name, *home))
+        if step("move-ff-inverse") != base:
+            out.append("eco[move-ff-inverse]: moving the FF back did "
+                       "not reproduce the original solve")
+    if tsvs:
+        name = rng.choice(tsvs)
+        port = netlist.ports[name]
+        session.apply(MoveTsv(name, port.x + span * 0.3, port.y))
+        step("move-tsv")
+    checkpoint = step("checkpoint")  # settles any pending state
+    old_d_th = session.config.d_th_um
+    session.apply(SetThreshold(d_th_um=span * 0.4))
+    step("set-d-th")
+    session.apply(SetThreshold(d_th_um=old_d_th))
+    if step("set-d-th-inverse") != checkpoint:
+        out.append("eco[set-d-th-inverse]: restoring d_th did not "
+                   "reproduce the pre-edit solve")
+    session.apply(AddTsv("eco_check_tsv", PortKind.TSV_INBOUND,
+                         rng.uniform(0.0, span), rng.uniform(0.0, span)))
+    step("add-tsv")
+    session.apply(RemoveTsv("eco_check_tsv"))
+    if step("remove-tsv") != checkpoint:
+        out.append("eco[remove-tsv]: removing the added TSV did not "
+                   "reproduce the pre-edit solve")
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 CHECKS: Dict[str, Callable[[Subject], List[str]]] = {
@@ -411,6 +554,7 @@ CHECKS: Dict[str, Callable[[Subject], List[str]]] = {
     "meta-isometry": check_metamorphic_isometry,
     "meta-thresholds": check_metamorphic_thresholds,
     "meta-isolated-ff": check_metamorphic_isolated_ff,
+    "eco": check_eco,
 }
 
 

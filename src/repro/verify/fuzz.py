@@ -178,6 +178,7 @@ def _checks_of(divergences: List[str]) -> List[str]:
                              ("meta-isometry", "meta[mirror"),
                              ("meta-thresholds", "meta[thresholds"),
                              ("meta-isolated-ff", "meta[isolated"),
+                             ("eco", "eco"),
                              ("sim", "build")):
             if line.startswith(prefix):
                 if name not in out:

@@ -71,6 +71,29 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["table2", "--scale", "smoke", "--timeout", "-1"])
 
+    def test_session_script(self, tmp_path, capsys):
+        script = tmp_path / "edits.eco"
+        script.write_text("info\n"
+                          "solve\n"
+                          "move-ff ff0 12 34\n"
+                          "solve\n"
+                          "set d_th_um 200\n"
+                          "solve\n")
+        assert main(["session", "b11", "0", "--script", str(script),
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "session: b11_die0 loaded" in out
+        assert "[solve 1]" in out and "[solve 3]" in out
+        assert out.count("verify=ok") == 3
+        assert "MISMATCH" not in out
+
+    def test_session_bad_edit_exits(self, tmp_path, capsys):
+        script = tmp_path / "bad.eco"
+        script.write_text("move-ff no_such_ff 0 0\n")
+        assert main(["session", "b11", "0",
+                     "--script", str(script)]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_tables_alias(self, capsys, monkeypatch):
         import repro.cli as cli
         monkeypatch.setattr(cli, "_EXPORT_ORDER", ("table2",))

@@ -1,0 +1,182 @@
+"""Incremental :class:`WcmSession` vs cold ``run_wcm_flow``.
+
+Every solve of a session must be byte-identical to a cold solve of the
+same edited netlist — these tests pin that contract across the whole
+edit vocabulary, plus the fallback triggers and reuse telemetry that
+the incremental path promises.
+"""
+
+import pytest
+
+from repro.core.flow import run_wcm_flow
+from repro.core.problem import build_problem
+from repro.core.session import (AddTsv, MoveFf, MoveTsv, RemoveTsv,
+                                SetThreshold, WcmSession)
+from repro.runtime.backend import numpy_available
+from repro.runtime.config import configure
+from repro.netlist.core import PortKind
+from repro.runtime import instrument
+from repro.util.errors import ConfigError
+from repro.verify.checks import _eco_result_fp
+from repro.verify.instances import InstanceSpec
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
+def kernel_backend(request):
+    if request.param == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    configure(backend=request.param)
+    yield request.param
+    configure(backend="python")
+
+
+SPEC = InstanceSpec(seed=77, gates=36, ffs=5, tsv_in=4, tsv_out=3)
+
+
+def fresh_session(**kwargs):
+    problem = SPEC.build_problem()
+    config = SPEC.build_config(problem)
+    return WcmSession(problem.netlist.clone(), config,
+                      already_prepared=True, **kwargs)
+
+
+def cold_fp(session):
+    """Fingerprint of a cold solve over the session's current die."""
+    problem = build_problem(session.netlist.clone(),
+                            clock=session.config.scenario.clock,
+                            already_prepared=True)
+    return _eco_result_fp(run_wcm_flow(problem, session.config))
+
+
+def die_span(session):
+    xs = [inst.x for inst in session.netlist.instances.values()]
+    return (max(xs) - min(xs)) or 100.0
+
+
+class TestByteIdentity:
+    def test_initial_solve_matches_cold(self):
+        session = fresh_session()
+        assert _eco_result_fp(session.solve()) == cold_fp(session)
+
+    def test_edit_stream_matches_cold(self):
+        """Every edit kind, interleaved, solved after each step."""
+        session = fresh_session()
+        session.solve()
+        span = die_span(session)
+        ff = session.netlist.scan_flip_flops()[0]
+        tsv = next(p for p in session.netlist.ports.values() if p.is_tsv)
+        steps = [
+            MoveFf(ff.name, ff.x + span * 0.01, ff.y + 1.0),
+            MoveTsv(tsv.name, tsv.x + span * 0.3, tsv.y),
+            SetThreshold(d_th_um=span * 0.4),
+            AddTsv("session_test_tsv", PortKind.TSV_INBOUND,
+                   x=span * 0.5, y=span * 0.5),
+            RemoveTsv("session_test_tsv"),
+            SetThreshold(cov_th=0.5),
+        ]
+        for edit in steps:
+            session.apply(edit)
+            got = _eco_result_fp(session.solve())
+            assert got == cold_fp(session), f"diverged after {edit!r}"
+
+    def test_inverse_edit_restores_result(self):
+        session = fresh_session()
+        base = _eco_result_fp(session.solve())
+        ff = session.netlist.scan_flip_flops()[0]
+        x0, y0 = ff.x, ff.y
+        session.apply(MoveFf(ff.name, x0 + 12.0, y0 + 7.0))
+        session.solve()
+        session.apply(MoveFf(ff.name, x0, y0))
+        assert _eco_result_fp(session.solve()) == base
+
+    def test_batched_edits_single_solve(self):
+        """Several queued edits collapse into one consistent solve."""
+        session = fresh_session()
+        session.solve()
+        span = die_span(session)
+        for i, ff in enumerate(session.netlist.scan_flip_flops()[:2]):
+            session.apply(MoveFf(ff.name, ff.x + 2.0 * (i + 1), ff.y))
+        session.apply(SetThreshold(d_th_um=span * 0.6))
+        assert _eco_result_fp(session.solve()) == cold_fp(session)
+
+
+class TestFallback:
+    def test_structural_edit_falls_back(self):
+        session = fresh_session()
+        session.solve()
+        span = die_span(session)
+        session.apply(AddTsv("fb_tsv", PortKind.TSV_INBOUND,
+                             x=span * 0.25, y=span * 0.25))
+        session.solve()
+        assert session.last_fallback == "structural"
+        session.apply(RemoveTsv("fb_tsv"))
+        session.solve()
+        assert session.last_fallback == "structural"
+
+    def test_dirty_frac_falls_back(self):
+        session = fresh_session(fallback_ratio=0.0)
+        session.solve()
+        ff = session.netlist.scan_flip_flops()[0]
+        session.apply(MoveFf(ff.name, ff.x + 1.0, ff.y))
+        session.solve()
+        assert session.last_fallback == "dirty_frac"
+
+    def test_nudge_stays_incremental(self):
+        session = fresh_session()
+        session.solve()
+        ff = session.netlist.scan_flip_flops()[0]
+        session.apply(MoveFf(ff.name, ff.x + 0.5, ff.y + 0.5))
+        with instrument.collect() as report:
+            session.solve()
+        # "restitch" is still the incremental path (chain order changed
+        # in place); only structural/dirty_frac rebuild the problem.
+        assert session.last_fallback in (None, "restitch")
+        assert 0.0 < session.last_dirty_frac <= session.fallback_ratio
+        assert report.counters.get("session.fallback", 0) == 0
+
+    def test_fallback_still_matches_cold(self):
+        session = fresh_session(fallback_ratio=0.0)
+        session.solve()
+        ff = session.netlist.scan_flip_flops()[0]
+        session.apply(MoveFf(ff.name, ff.x + 3.0, ff.y))
+        assert _eco_result_fp(session.solve()) == cold_fp(session)
+
+
+class TestTelemetry:
+    def test_edit_counter(self):
+        session = fresh_session()
+        ff = session.netlist.scan_flip_flops()[0]
+        with instrument.collect() as report:
+            session.apply(MoveFf(ff.name, ff.x + 1.0, ff.y))
+            session.apply(SetThreshold(cov_th=0.6))
+        assert report.counters.get("session.edits") == 2
+        assert session.edit_count == 2
+
+    def test_graph_replay_counter(self):
+        """A pure-move edit replays cached sharing graphs instead of
+        rebuilding them (structural estimator mode only)."""
+        session = fresh_session()
+        session.solve()
+        ff = session.netlist.scan_flip_flops()[0]
+        session.apply(MoveFf(ff.name, ff.x + 0.5, ff.y))
+        with instrument.collect() as report:
+            session.solve()
+        if session.config.estimator_mode == "structural" \
+                and session.last_fallback in (None, "restitch"):
+            assert report.counters.get("session.graph_replays", 0) >= 1
+
+
+class TestEditValidation:
+    def test_move_ff_rejects_non_ff(self):
+        session = fresh_session()
+        gate = next(i for i in session.netlist.instances.values()
+                    if not i.is_scan)
+        with pytest.raises(ConfigError):
+            session.apply(MoveFf(gate.name, 0.0, 0.0))
+
+    def test_move_tsv_rejects_non_tsv(self):
+        session = fresh_session()
+        port = next(p for p in session.netlist.ports.values()
+                    if not p.is_tsv)
+        with pytest.raises(ConfigError):
+            session.apply(MoveTsv(port.name, 0.0, 0.0))

@@ -1,0 +1,115 @@
+"""Targeted ``TimingContext.invalidate_nets`` coverage.
+
+The incremental session leans on subset invalidation: after a position
+change, only the nets incident to the moved object are refreshed, and
+the next ``analyze``/``analyze_delta`` must be byte-identical to a
+fresh context built over the moved netlist. On the numpy backend the
+baked ``_VectorPlan`` arrays must be dropped and rebuilt too — a stale
+plan would silently reuse pre-move wire delays.
+"""
+
+import pytest
+
+from repro.sta.constraints import ClockConstraint, UNCONSTRAINED
+from repro.sta.timer import TimingContext, default_case
+from repro.runtime.backend import numpy_available
+from repro.runtime.config import configure
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
+def kernel_backend(request):
+    if request.param == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed")
+    configure(backend=request.param)
+    yield request.param
+    configure(backend="python")
+
+
+def _incident_nets(inst):
+    return sorted(set(inst.connections.values()))
+
+
+def _movable_gate(netlist):
+    """A placed combinational gate with at least two connections."""
+    return next(inst for inst in netlist.instances.values()
+                if not inst.is_scan and len(inst.connections) >= 2)
+
+
+def assert_same_timing(got, want):
+    assert got.arrival_ps == want.arrival_ps
+    assert got.required_ps == want.required_ps
+    assert got.net_load_ff == want.net_load_ff
+    assert got.endpoints == want.endpoints
+    assert got.critical_path_ps == want.critical_path_ps
+
+
+class TestInvalidateNets:
+    def test_subset_invalidation_matches_fresh(self, medium_die,
+                                               kernel_backend):
+        netlist = medium_die.clone()
+        context = TimingContext(netlist)
+        base = context.analyze()
+        if kernel_backend == "numpy":
+            assert context._vplan is not None, \
+                "caseless analyze should bake a _VectorPlan"
+
+        gate = _movable_gate(netlist)
+        gate.x += 180.0
+        gate.y += 95.0
+        context.invalidate_nets(_incident_nets(gate))
+        if kernel_backend == "numpy":
+            assert context._vplan is None, \
+                "invalidate_nets must drop the baked _VectorPlan"
+
+        fresh = TimingContext(netlist).analyze()
+        assert_same_timing(context.analyze(), fresh)
+        # the move must actually have changed something, or the test
+        # proves nothing
+        assert fresh.arrival_ps != base.arrival_ps
+
+    def test_analyze_delta_after_invalidate(self, medium_die):
+        netlist = medium_die.clone()
+        context = TimingContext(netlist)
+        constraint = ClockConstraint(
+            period_ps=context.analyze().critical_path_ps * 0.9)
+        previous = context.analyze(constraint)
+
+        gate = _movable_gate(netlist)
+        gate.x += 150.0
+        gate.y -= 60.0
+        dirty = _incident_nets(gate)
+        context.invalidate_nets(dirty)
+        delta = context.analyze_delta(constraint, previous=previous,
+                                      dirty_nets=dirty)
+        fresh = TimingContext(netlist).analyze(constraint)
+        assert_same_timing(delta, fresh)
+
+    def test_port_move_with_case_analysis(self, medium_die):
+        netlist = medium_die.clone()
+        context = TimingContext(netlist)
+        case = default_case(netlist, test_mode=1)
+        port = next(p for p in netlist.ports.values()
+                    if p.is_tsv and p.net is not None)
+        previous = context.analyze(UNCONSTRAINED, case=case)
+
+        port.x += 220.0
+        port.y += 40.0
+        context.invalidate_nets([port.net])
+        delta = context.analyze_delta(UNCONSTRAINED, case=case,
+                                      previous=previous,
+                                      dirty_nets=[port.net])
+        fresh = TimingContext(netlist).analyze(UNCONSTRAINED, case=case)
+        assert_same_timing(delta, fresh)
+
+    def test_vplan_rebuilt_and_reused(self, medium_die, kernel_backend):
+        if kernel_backend != "numpy":
+            pytest.skip("vector plan exists only on the numpy backend")
+        netlist = medium_die.clone()
+        context = TimingContext(netlist)
+        context.analyze()
+        gate = _movable_gate(netlist)
+        gate.x += 75.0
+        context.invalidate_nets(_incident_nets(gate))
+        rebuilt = context.analyze()
+        assert context._vplan is not None
+        assert_same_timing(rebuilt, TimingContext(netlist).analyze())
