@@ -44,16 +44,18 @@ def pytest_sessionfinish(session, exitstatus):
     """Export regression-tracked timings next to this conftest.
 
     ``test_bench_kernels.py`` micro-benchmarks land in
-    ``BENCH_kernels.json`` and the ``test_bench_eco.py`` incremental-
-    session latencies in ``BENCH_eco.json``; the table sweeps carry
-    their own outputs. The files land next to this conftest so repeated
+    ``BENCH_kernels.json``, the ``test_bench_eco.py`` incremental-
+    session latencies in ``BENCH_eco.json`` and the
+    ``test_bench_serve.py`` warm service latencies in
+    ``BENCH_serve.json``; the table sweeps carry their own outputs. The files land next to this conftest so repeated
     runs are easy to diff.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not bench_session.benchmarks:
         return
     for module, filename in (("test_bench_kernels", "BENCH_kernels.json"),
-                             ("test_bench_eco", "BENCH_eco.json")):
+                             ("test_bench_eco", "BENCH_eco.json"),
+                             ("test_bench_serve", "BENCH_serve.json")):
         timings = {}
         for bench in bench_session.benchmarks:
             if module not in (bench.fullname or ""):

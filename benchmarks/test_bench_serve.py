@@ -1,0 +1,85 @@
+"""Warm service latency benchmark (``repro serve``).
+
+Spins up a real :class:`WcmServer` over a Unix socket, primes its
+result cache with one flow job, then hammers it with 32 concurrent
+clients issuing the same submit — the steady-state "warm" path every
+request after the first takes. Per-request submit→result latency is
+collected across all clients and exported as p50/p95 to
+``BENCH_serve.json``, so the daemon's dispatch overhead (socket,
+admission, cache hit, response) is regression-tracked alongside the
+kernel and ECO benchmarks via ``repro bench gate``.
+"""
+
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import DONE
+from repro.serve.server import WcmServer
+
+CLIENTS = 32
+ROUNDS = 8
+
+#: regression ceiling for the p95 warm submit→result latency; measured
+#: a few ms on an idle machine — the slack absorbs CI noise.
+MAX_P95_S = 1.0
+
+FLOW_PARAMS = {"circuit": "b11", "die": 1, "scale": "smoke"}
+
+
+@pytest.fixture(scope="module")
+def serve_daemon(tmp_path_factory):
+    state = tmp_path_factory.mktemp("serve-bench")
+    server = WcmServer(state, workers=2).start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServeClient(server.socket_path)
+    assert client.wait_until_up(timeout_s=30.0)
+    # prime the cache: every benchmarked submit is the warm path
+    primed = client.submit("flow", dict(FLOW_PARAMS), timeout_s=300.0)
+    assert primed["state"] == DONE
+    yield server
+    server.stop()
+
+
+def test_bench_serve_warm_submit(benchmark, serve_daemon, echo, scale):
+    latencies = []
+
+    def wave():
+        barrier = threading.Barrier(CLIENTS)
+        responses = [None] * CLIENTS
+
+        def one_client(slot):
+            client = ServeClient(serve_daemon.socket_path)
+            barrier.wait()
+            started = time.perf_counter()
+            responses[slot] = client.submit("flow", dict(FLOW_PARAMS),
+                                            timeout_s=60.0)
+            latencies.append(time.perf_counter() - started)
+
+        threads = [threading.Thread(target=one_client, args=(slot,))
+                   for slot in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert all(r is not None and r["state"] == DONE
+                   and r["cached"] for r in responses)
+
+    benchmark.pedantic(wave, rounds=ROUNDS, iterations=1,
+                       warmup_rounds=1)
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    benchmark.extra_info["clients"] = CLIENTS
+    benchmark.extra_info["requests"] = len(ordered)
+    benchmark.extra_info["p50_ms"] = p50 * 1000.0
+    benchmark.extra_info["p95_ms"] = p95 * 1000.0
+    echo(f"[serve] warm submit->result under {CLIENTS} clients: "
+         f"p50 {p50 * 1000:.1f}ms, p95 {p95 * 1000:.1f}ms "
+         f"({len(ordered)} requests)")
+    assert p95 < MAX_P95_S, (
+        f"warm serve latency regressed: p95 {p95 * 1000:.0f}ms >= "
+        f"{MAX_P95_S * 1000:.0f}ms")

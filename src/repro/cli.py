@@ -19,6 +19,15 @@ Commands:
   once, then apply ``move-ff``/``move-tsv``/``add-tsv``/``remove-tsv``/
   ``set`` edits and ``solve`` from a script (``--script``) or
   interactively; ``--verify`` checks every solve against a cold run,
+* ``serve`` — run the WCM job daemon: warm worker pool + resident ECO
+  sessions behind a Unix socket under ``--state-dir``, with admission
+  control, deterministic backoff, circuit breakers and graceful drain
+  on SIGTERM/SIGINT (DESIGN.md §13),
+* ``submit <kind> [KEY=VALUE ...]`` — submit one job to the daemon and
+  (by default) wait for the result; sheds are retried with capped
+  backoff; the exit code encodes the terminal state,
+* ``jobs`` — list the daemon's jobs (``--stats`` for counters and
+  breaker state, ``--drain`` to ask it to exit),
 * ``trace show <manifest>`` — render a run manifest (counters,
   histograms, span timings),
 * ``trace diff <golden> <candidate>`` — compare two run manifests
@@ -358,6 +367,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
         lines = None
         interactive = sys.stdin.isatty()
 
+    interrupted = []
+
     def read_lines():
         if lines is not None:
             yield from lines
@@ -365,7 +376,13 @@ def _cmd_session(args: argparse.Namespace) -> int:
         while True:
             if interactive:
                 print("eco> ", end="", flush=True)
-            line = sys.stdin.readline()
+            try:
+                line = sys.stdin.readline()
+            except (KeyboardInterrupt, EOFError):
+                # Ctrl-C/Ctrl-D at the prompt: exit like `quit`, not
+                # with a traceback over a half-printed prompt
+                interrupted.append(True)
+                return
             if not line:
                 return
             yield line
@@ -446,11 +463,138 @@ def _cmd_session(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             if not interactive:
                 return 2
+    if interrupted:
+        # leave the terminal on a fresh line and flush telemetry —
+        # the session ends cleanly, the way `quit` would
+        from repro.runtime import trace
+        print()
+        sys.stdout.flush()
+        trace.stop()
+        return 130
     if mismatches:
         print(f"{mismatches}/{solves} solve(s) diverged from the cold "
               f"oracle", file=sys.stderr)
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# WCM-as-a-service: daemon + client commands (DESIGN.md §13)
+# ---------------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the job daemon in the foreground until drained."""
+    from repro.serve.queue import AdmissionPolicy
+    from repro.serve.server import WcmServer
+
+    policy = AdmissionPolicy(
+        queue_caps=(args.cap_interactive, args.cap_normal, args.cap_batch),
+        max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        default_deadline_s=args.default_deadline,
+    )
+    seed = getattr(args, "seed", None)
+    server = WcmServer(
+        args.state_dir,
+        workers=args.serve_workers,
+        policy=policy,
+        job_timeout_s=args.job_timeout,
+        seed=2019 if seed is None else seed,
+    )
+    server.start()
+    server.install_signal_handlers()
+    print(f"serving on {server.socket_path} "
+          f"({server.workers_wanted} warm worker(s), "
+          f"{server.recovered_jobs} job(s) recovered from journal; "
+          f"SIGTERM/SIGINT drains)")
+    server.serve_forever()
+    stats = server.queue.stats() if server.queue is not None else {}
+    counters = stats.get("counters", {})
+    print(f"drained: {counters.get('done', 0)} done, "
+          f"{counters.get('failed', 0)} failed, "
+          f"{counters.get('shed', 0)} shed, "
+          f"{counters.get('quarantined', 0)} quarantined")
+    return 0
+
+
+def _parse_job_params(pairs) -> Dict[str, object]:
+    """``key=value`` pairs; values JSON-decoded, bare words kept as
+    strings (``die=1`` is the int 1, ``circuit=b11`` the str 'b11')."""
+    import json
+
+    params: Dict[str, object] = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"job parameter {pair!r} is not key=value")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+#: submit exit codes beyond the usual 0/1/2 — scripts branch on these
+_SUBMIT_EXIT = {"done": 0, "failed": 1, "shed": 3, "quarantined": 4}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job; exit code encodes the terminal state."""
+    import json
+
+    from repro.serve.client import (ServeClient, ServeUnavailable,
+                                    socket_path_for)
+
+    try:
+        params = _parse_job_params(args.params)
+    except ConfigError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(socket_path_for(args.state_dir))
+    try:
+        if args.no_retry:
+            response = client.submit(
+                args.kind, params, priority=args.priority,
+                deadline_s=args.deadline, wait=not args.no_wait,
+                timeout_s=args.wait_timeout)
+        else:
+            response = client.submit_with_backoff(
+                args.kind, params, priority=args.priority,
+                deadline_s=args.deadline, wait=not args.no_wait,
+                timeout_s=args.wait_timeout)
+    except ServeUnavailable as exc:
+        print(f"repro: error: {exc} (is `repro serve` running?)",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if not response.get("ok", False):
+        return 2
+    state = response.get("state")
+    if state in _SUBMIT_EXIT:
+        return _SUBMIT_EXIT[state]
+    return 5  # accepted but not terminal (no-wait, or wait timed out)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Inspect or drain the running daemon."""
+    import json
+
+    from repro.serve.client import (ServeClient, ServeUnavailable,
+                                    socket_path_for)
+
+    client = ServeClient(socket_path_for(args.state_dir))
+    try:
+        if args.drain:
+            response = client.drain()
+        elif args.stats:
+            response = client.stats()
+        else:
+            response = client.jobs()
+    except ServeUnavailable as exc:
+        print(f"repro: error: {exc} (is `repro serve` running?)",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok", False) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -568,6 +712,87 @@ def main(argv=None) -> int:
                                 help="differentially check every solve "
                                      "against a cold flow run")
 
+    serve_parser = sub.add_parser(
+        "serve", parents=[common],
+        help="run the WCM job daemon (warm workers + resident "
+             "sessions) over a state directory")
+    serve_parser.add_argument("--state-dir", default=".repro-serve",
+                              metavar="PATH",
+                              help="socket, journal and default cache "
+                                   "root (default .repro-serve)")
+    serve_parser.add_argument("--serve-workers", type=int, default=2,
+                              metavar="N",
+                              help="warm worker processes (default 2)")
+    serve_parser.add_argument("--job-timeout", type=float, default=None,
+                              metavar="S",
+                              help="per-attempt wall-clock budget; a "
+                                   "job past it is killed and retried")
+    serve_parser.add_argument("--max-attempts", type=int, default=3,
+                              metavar="N",
+                              help="attempts per job before a crash-"
+                                   "class failure is terminal "
+                                   "(default 3)")
+    serve_parser.add_argument("--breaker-threshold", type=int, default=3,
+                              metavar="N",
+                              help="consecutive crashes on one die "
+                                   "before its jobs quarantine "
+                                   "(default 3)")
+    serve_parser.add_argument("--default-deadline", type=float,
+                              default=None, metavar="S",
+                              help="deadline applied to jobs that "
+                                   "don't carry one")
+    serve_parser.add_argument("--cap-interactive", type=int, default=64,
+                              metavar="N", help=argparse.SUPPRESS)
+    serve_parser.add_argument("--cap-normal", type=int, default=256,
+                              metavar="N", help=argparse.SUPPRESS)
+    serve_parser.add_argument("--cap-batch", type=int, default=1024,
+                              metavar="N", help=argparse.SUPPRESS)
+
+    submit_parser = sub.add_parser(
+        "submit", parents=[common],
+        help="submit one job to a running daemon "
+             "(exit: 0 done, 1 failed, 3 shed, 4 quarantined, "
+             "5 accepted-not-finished)")
+    submit_parser.add_argument("kind",
+                               help="job kind: noop | flow | atpg | "
+                                    "experiment | eco")
+    submit_parser.add_argument("params", nargs="*", metavar="KEY=VALUE",
+                               help="job parameters; values are JSON "
+                                    "(circuit=b11 die=1 "
+                                    "edits='[{...}]')")
+    submit_parser.add_argument("--state-dir", default=".repro-serve",
+                               metavar="PATH")
+    submit_parser.add_argument("--priority", default="normal",
+                               choices=("interactive", "normal",
+                                        "batch"))
+    submit_parser.add_argument("--deadline", type=float, default=None,
+                               metavar="S",
+                               help="drop the job if not done within S "
+                                    "seconds of admission")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="return the job id immediately "
+                                    "instead of waiting for the result")
+    submit_parser.add_argument("--wait-timeout", type=float, default=None,
+                               metavar="S",
+                               help="stop waiting after S seconds (the "
+                                    "job keeps running)")
+    submit_parser.add_argument("--no-retry", action="store_true",
+                               help="take a shed answer at face value "
+                                    "instead of backing off and "
+                                    "resubmitting")
+
+    jobs_parser = sub.add_parser(
+        "jobs", parents=[common],
+        help="list a running daemon's jobs (--stats, --drain)")
+    jobs_parser.add_argument("--state-dir", default=".repro-serve",
+                             metavar="PATH")
+    jobs_parser.add_argument("--stats", action="store_true",
+                             help="counters, breakers and pool state "
+                                  "instead of the job list")
+    jobs_parser.add_argument("--drain", action="store_true",
+                             help="ask the daemon to finish in-flight "
+                                  "jobs, journal the rest and exit")
+
     trace_parser = sub.add_parser(
         "trace", parents=[common],
         help="inspect or compare run manifests")
@@ -638,10 +863,23 @@ def main(argv=None) -> int:
             return _cmd_fuzz(args)
         if args.command == "session":
             return _cmd_session(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench_gate(args)
+    except KeyboardInterrupt:
+        # interrupted mid-command (serve handles SIGINT itself while
+        # serve_forever runs): flush telemetry, conventional 130
+        from repro.runtime import trace
+        trace.stop()
+        print(file=sys.stderr)
+        return 130
     except RuntimeExecutionError as exc:
         print(f"sweep aborted: {exc}", file=sys.stderr)
         return 2

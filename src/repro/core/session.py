@@ -825,3 +825,41 @@ class WcmSession:
             if port.is_tsv:
                 positions[name] = (port.x, port.y)
         return positions
+
+
+# ---------------------------------------------------------------------------
+# Public byte-identity surface (shared by repro.verify and repro.serve)
+# ---------------------------------------------------------------------------
+def netlist_payload(netlist: Netlist) -> dict:
+    """Canonical structural payload of a netlist (not a dataclass, so
+    :func:`repro.util.fingerprint.fingerprint` needs the explicit
+    rendering)."""
+    return {
+        "name": netlist.name,
+        "ports": [(p.name, p.kind.value, p.net, p.x, p.y)
+                  for p in netlist.ports.values()],
+        "instances": [(i.name, i.cell.name,
+                       tuple(sorted(i.connections.items())), i.x, i.y)
+                      for i in netlist.instances.values()],
+        "nets": [(net.name, net.driver, tuple(net.sinks))
+                 for net in netlist.nets.values()],
+    }
+
+
+def result_fingerprint(result: WcmRunResult) -> str:
+    """Fingerprint of everything a solve produces — the byte-identity
+    oracle surface (plan, wrapped netlist, timings, stats, order) that
+    a warm session re-solve, a served job, and a cold
+    :func:`~repro.core.flow.run_wcm_flow` must agree on."""
+    from repro.util.fingerprint import fingerprint
+
+    return fingerprint({
+        "plan": result.plan,
+        "insertion": result.insertion,
+        "final_timing": result.final_timing,
+        "test_mode_timing": result.test_mode_timing,
+        "graph_stats": result.graph_stats,
+        "partitions": result.partitions,
+        "order": [kind.value for kind in result.order],
+        "wrapped": netlist_payload(result.wrapped_netlist),
+    })

@@ -230,6 +230,54 @@ class CacheStats:
 #: subdirectory corrupt entries are moved into (never read back)
 QUARANTINE_DIR = "quarantine"
 
+#: lock file serializing the startup stale-tmp sweep across processes
+SWEEP_LOCK_NAME = ".sweep.lock"
+
+
+class _SweepLock:
+    """Non-blocking exclusive flock guarding the stale-tmp sweep.
+
+    Many processes open the same cache root at once (daemon + workers,
+    parallel sweeps); without a lock they race each other quarantining
+    the same ``*.tmp`` files, and a file one sweeper just moved shows
+    up as an ``OSError`` mid-``os.replace`` for the next. The sweep is
+    purely janitorial, so contention means *skip*, never wait. On
+    platforms without ``fcntl`` the lock degrades to a no-op (the sweep
+    itself tolerates racing — this lock just silences the noise)."""
+
+    def __init__(self, root: Path) -> None:
+        self.path = Path(root) / SWEEP_LOCK_NAME
+        self._handle = None
+
+    def acquire(self) -> bool:
+        try:
+            import fcntl
+        except ImportError:
+            return True
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(self.path, "a+")
+        except OSError:
+            return False
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            return False
+        self._handle = handle
+        return True
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            import fcntl
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        except (ImportError, OSError):
+            pass
+        self._handle.close()
+        self._handle = None
+
 
 class ResultCache:
     """One cache directory of JSON entries, addressed by key.
@@ -257,23 +305,34 @@ class ResultCache:
         hard kill between ``mkstemp`` and the rename leaves the file
         behind; without a sweep those accumulate in the shard
         directories forever. Wall-clock mtime is the right measure
-        here (the writer may have been a different process/boot)."""
+        here (the writer may have been a different process/boot).
+
+        The sweep runs under a non-blocking exclusive file lock
+        (``.sweep.lock``): if another process is already sweeping this
+        root, ours skips — the orphans are that sweeper's problem."""
         if not self.root.is_dir():
             return
-        cutoff = time.time() - self.STALE_TMP_SECONDS
-        destination_dir = self.root / QUARANTINE_DIR
-        for tmp in self.root.glob("[0-9a-f][0-9a-f]/*.tmp"):
-            try:
-                if tmp.stat().st_mtime > cutoff:
-                    continue  # possibly an in-flight write elsewhere
-                destination_dir.mkdir(parents=True, exist_ok=True)
-                os.replace(tmp, destination_dir / tmp.name)
-            except OSError:
-                continue
-            self.stats.quarantined += 1
-            trace.inc("cache.quarantined")
-            trace.event("cache.quarantine", key=tmp.name,
-                        destination=str(destination_dir / tmp.name))
+        lock = _SweepLock(self.root)
+        if not lock.acquire():
+            trace.event("cache.sweep_skipped", root=str(self.root))
+            return
+        try:
+            cutoff = time.time() - self.STALE_TMP_SECONDS
+            destination_dir = self.root / QUARANTINE_DIR
+            for tmp in self.root.glob("[0-9a-f][0-9a-f]/*.tmp"):
+                try:
+                    if tmp.stat().st_mtime > cutoff:
+                        continue  # possibly an in-flight write elsewhere
+                    destination_dir.mkdir(parents=True, exist_ok=True)
+                    os.replace(tmp, destination_dir / tmp.name)
+                except OSError:
+                    continue
+                self.stats.quarantined += 1
+                trace.inc("cache.quarantined")
+                trace.event("cache.quarantine", key=tmp.name,
+                            destination=str(destination_dir / tmp.name))
+        finally:
+            lock.release()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

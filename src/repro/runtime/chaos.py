@@ -10,7 +10,10 @@ quarantine, resume) are only trustworthy if they are exercised against
   wedged PODEM search), to be killed by the per-cell timeout,
 * ``raise``   — the cell raises :class:`ChaosError`,
 * ``netlist`` — the cell raises :class:`~repro.util.errors.NetlistError`
-  (simulating a malformed generated netlist reaching the flow).
+  (simulating a malformed generated netlist reaching the flow),
+* ``delay``   — the cell stalls ``seconds`` before running normally
+  (service chaos: exercises job deadlines, slow workers and backoff
+  windows while the result must still come back correct).
 
 A :class:`ChaosPlan` targets cells by *sweep index* and is applied by
 the supervisor in the worker, after the per-cell reseed and before the
@@ -43,7 +46,7 @@ from typing import Dict, Optional
 from repro.util.errors import ConfigError, NetlistError, ReproError
 
 #: recognised injection actions
-ACTIONS = ("crash", "hang", "raise", "netlist")
+ACTIONS = ("crash", "hang", "raise", "netlist", "delay")
 
 
 class ChaosError(ReproError):
@@ -59,6 +62,10 @@ class ChaosSpec:
     #: ``attempts=1`` with one retry must reproduce a clean cell)
     attempts: int = 1
     message: str = "chaos: injected failure"
+    #: how long a "delay" stalls the cell before running it normally
+    #: (service chaos: exercises deadline/timeout paths without the
+    #: assertion itself ever reading a clock)
+    seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -100,6 +107,11 @@ class ChaosPlan:
         if spec.action == "hang":
             time.sleep(self.hang_seconds)
             return
+        if spec.action == "delay":
+            # stall, then let the cell run normally: the job must still
+            # come back correct (or be killed by its deadline)
+            time.sleep(spec.seconds)
+            return
         if spec.action == "netlist":
             raise NetlistError("chaos: malformed netlist")
         raise ChaosError(spec.message)
@@ -126,6 +138,7 @@ def plan_from_json(raw: str) -> ChaosPlan:
             action=spec.get("action", "raise"),
             attempts=int(spec.get("attempts", 1)),
             message=spec.get("message", "chaos: injected failure"),
+            seconds=float(spec.get("seconds", 0.05)),
         )
     return ChaosPlan(
         cells=cells,

@@ -69,6 +69,48 @@ OK = "ok"
 RETRIED = "retried"       # ok, but needed more than one attempt
 FAILED = "failed"         # exception or worker crash, retries exhausted
 TIMEOUT = "timeout"       # wall-clock budget exceeded, worker killed
+PENDING = "pending"       # never started: sweep drained first
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain: SIGTERM/SIGINT-safe early stop.
+#
+# A drained sweep finishes the cells already on workers (journaling
+# them to the checkpoint as usual), skips everything still queued, and
+# returns a SweepResult whose unstarted cells are ``pending`` — so a
+# resumed sweep completes byte-identically from the checkpoint. The
+# flag is process-wide (one sweep runs at a time per process) and is
+# cleared by every supervised_map entry so a drain cannot leak into
+# the next sweep.
+# ---------------------------------------------------------------------------
+import threading as _threading
+
+_DRAIN = _threading.Event()
+
+
+def request_drain() -> None:
+    """Ask the running sweep to stop after its in-flight cells."""
+    _DRAIN.set()
+
+
+def drain_requested() -> bool:
+    return _DRAIN.is_set()
+
+
+def clear_drain() -> None:
+    _DRAIN.clear()
+
+
+def install_drain_handlers(signals: Optional[Tuple[int, ...]] = None
+                           ) -> None:
+    """Route SIGTERM/SIGINT to :func:`request_drain` (main thread only).
+
+    Used by long-running drivers (and the test harness) so an orderly
+    shutdown checkpoints instead of tearing the sweep mid-write."""
+    import signal as _signal
+
+    for signum in signals or (_signal.SIGTERM, _signal.SIGINT):
+        _signal.signal(signum, lambda _s, _f: request_drain())
 
 
 def cell_seed(root: int, *labels: object) -> int:
@@ -137,11 +179,22 @@ class SweepResult:
 
     @property
     def failures(self) -> List[CellOutcome]:
-        return [outcome for outcome in self.outcomes if not outcome.ok]
+        return [outcome for outcome in self.outcomes
+                if not outcome.ok and outcome.status != PENDING]
+
+    @property
+    def pending(self) -> List[CellOutcome]:
+        """Cells a drain stopped before they ever started."""
+        return [outcome for outcome in self.outcomes
+                if outcome.status == PENDING]
+
+    @property
+    def drained(self) -> bool:
+        return bool(self.pending)
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.pending
 
     def results_or_raise(self) -> List[Any]:
         for outcome in self.outcomes:
@@ -406,7 +459,15 @@ class _Supervisor:
             for _ in range(min(self.jobs, len(self.queue))):
                 self._spawn()
             while self.queue or self._busy():
-                self._assign()
+                if drain_requested():
+                    # stop feeding: let in-flight cells finish (they
+                    # journal to the checkpoint), leave the rest queued
+                    if not self._busy():
+                        trace.event("supervisor.drained",
+                                    remaining=len(self.queue))
+                        break
+                else:
+                    self._assign()
                 self._wait_and_collect()
         finally:
             self._shutdown_all()
@@ -561,7 +622,11 @@ def _run_serial(fn: Callable, cells: List[Any], todo: List[int],
                 seed: int, policy: SupervisorPolicy, label: str,
                 outcomes: List[Optional[CellOutcome]],
                 checkpoint: Optional[SweepCheckpoint]) -> None:
-    for index in todo:
+    for position, index in enumerate(todo):
+        if drain_requested():
+            trace.event("supervisor.drained",
+                        remaining=len(todo) - position)
+            break
         attempt = 0
         while True:
             attempt += 1
@@ -619,6 +684,9 @@ def supervised_map(fn: Callable[[Any], Any], cells: Iterable[Any],
     jobs = resolve_jobs(jobs)
     if policy is None:
         policy = SupervisorPolicy.from_config()
+    # a drain belongs to exactly one sweep: a request left over from a
+    # previous (already finished) sweep must not abort this one
+    clear_drain()
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
 
@@ -655,4 +723,11 @@ def supervised_map(fn: Callable[[Any], Any], cells: Iterable[Any],
     finally:
         if checkpoint is not None:
             checkpoint.close()
+    for index in range(len(cells)):
+        if outcomes[index] is None:
+            # a drain stopped the sweep before this cell started; a
+            # resumed sweep picks it up from the checkpoint
+            outcomes[index] = CellOutcome(
+                index=index, status=PENDING, attempts=0,
+                error="drained before start")
     return SweepResult(label=label, outcomes=outcomes)

@@ -1,0 +1,57 @@
+"""WCM-as-a-service: a fault-tolerant local job server.
+
+The batch CLI pays the interpreter + die-preparation cold start on
+every invocation and has no defense against overload. This package
+turns the runtime (supervised worker pool, content-addressed result
+cache, trace/metrics, warm :class:`~repro.core.session.WcmSession`)
+into a long-running daemon:
+
+* :mod:`repro.serve.protocol` — JSON-line request/response framing
+  over a Unix domain socket, job states and priority classes,
+* :mod:`repro.serve.jobs` — the workload registry (``flow``, ``atpg``,
+  ``experiment``, ``eco``, ``noop``) executed in supervised workers,
+* :mod:`repro.serve.queue` — admission control: bounded priority
+  queues, load shedding with retry-after, deterministic capped
+  exponential backoff, a per-die circuit breaker, single-flight
+  dedupe, deadlines, and a crash-safe submission journal,
+* :mod:`repro.serve.server` — the daemon: warm worker pool, resident
+  ECO sessions, result-cache serving, graceful drain on SIGTERM,
+* :mod:`repro.serve.client` — the client library behind
+  ``repro submit`` / ``repro jobs``.
+
+See DESIGN.md §13 for the failure matrix (what is retried, shed,
+quarantined) and the chaos suite that pins it down.
+"""
+
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.protocol import (
+    DONE,
+    FAILED,
+    PRIORITIES,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TERMINAL_STATES,
+    job_fingerprint,
+)
+from repro.serve.queue import AdmissionPolicy, JobQueue, backoff_s
+from repro.serve.server import WcmServer
+
+__all__ = [
+    "AdmissionPolicy",
+    "DONE",
+    "FAILED",
+    "JobQueue",
+    "PRIORITIES",
+    "QUARANTINED",
+    "QUEUED",
+    "RUNNING",
+    "SHED",
+    "ServeClient",
+    "ServeUnavailable",
+    "TERMINAL_STATES",
+    "WcmServer",
+    "backoff_s",
+    "job_fingerprint",
+]

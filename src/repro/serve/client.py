@@ -1,0 +1,171 @@
+"""Client library for the WCM job server (``repro submit`` et al.).
+
+One :class:`ServeClient` per daemon socket. Requests are synchronous
+JSON-line exchanges; each request opens a fresh connection by default
+(Unix-socket connects are ~microseconds and a per-request connection
+means a half-dead daemon can never wedge a pooled one).
+
+:meth:`ServeClient.submit_with_backoff` is the polite client loop the
+admission controller is designed for: on a ``shed`` response it sleeps
+the server's ``retry_after_s`` hint scaled by deterministic capped
+exponential backoff (:func:`repro.serve.queue.backoff_s` — no jitter,
+so chaos scenarios replay identically) and resubmits, up to
+``max_attempts``. ``quarantined`` responses are surfaced immediately:
+the breaker is telling the client its die is broken, and hammering it
+would only delay the half-open probe.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    LineChannel,
+    QUARANTINED,
+    SHED,
+    validate_priority,
+)
+from repro.serve.queue import backoff_s
+from repro.serve.server import SOCKET_NAME
+from repro.util.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Protocol-level failure talking to the daemon."""
+
+
+class ServeUnavailable(ServeError):
+    """No daemon behind the socket (not running, or not yet bound)."""
+
+
+def socket_path_for(state_dir: os.PathLike) -> Path:
+    return Path(state_dir) / SOCKET_NAME
+
+
+class ServeClient:
+    """Synchronous client for one daemon socket."""
+
+    def __init__(self, socket_path: os.PathLike,
+                 timeout_s: float = 60.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------
+    def request(self, message: Dict[str, Any],
+                timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout_s if timeout_s is not None
+                        else self.timeout_s)
+        try:
+            sock.connect(str(self.socket_path))
+        except (FileNotFoundError, ConnectionRefusedError, OSError) as exc:
+            sock.close()
+            raise ServeUnavailable(
+                f"no server at {self.socket_path}: {exc}") from None
+        channel = LineChannel(sock)
+        try:
+            channel.send(message)
+            response = channel.recv()
+        except socket.timeout:
+            raise ServeError(
+                f"server did not answer within "
+                f"{timeout_s or self.timeout_s:g}s") from None
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"connection to {self.socket_path} lost: {exc}"
+            ) from None
+        finally:
+            channel.close()
+        if response is None:
+            raise ServeUnavailable(
+                f"server at {self.socket_path} closed the connection")
+        return response
+
+    # -- ops -------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"}, timeout_s=5.0)
+
+    def wait_until_up(self, timeout_s: float = 10.0,
+                      interval_s: float = 0.05) -> bool:
+        """Poll until the daemon answers a ping (daemon startup)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except ServeError:
+                time.sleep(interval_s)
+        return False
+
+    def submit(self, kind: str, params: Dict[str, Any], *,
+               priority: str = "normal",
+               deadline_s: Optional[float] = None,
+               wait: bool = True,
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "op": "submit", "kind": kind, "params": params,
+            "priority": validate_priority(priority), "wait": wait,
+        }
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        return self.request(message,
+                            timeout_s=(timeout_s + 10.0)
+                            if wait and timeout_s is not None else None)
+
+    def submit_with_backoff(self, kind: str, params: Dict[str, Any], *,
+                            priority: str = "normal",
+                            deadline_s: Optional[float] = None,
+                            wait: bool = True,
+                            timeout_s: Optional[float] = None,
+                            max_attempts: int = 6,
+                            backoff_base_s: float = 0.05,
+                            backoff_cap_s: float = 2.0,
+                            sleep=time.sleep) -> Dict[str, Any]:
+        """Submit, honoring shed/retry-after with capped backoff.
+
+        Returns the first non-shed response (done, failed, quarantined
+        or a timed-out wait). The final shed response is returned
+        as-is once *max_attempts* submissions were refused — callers
+        can distinguish it by ``state == "shed"``."""
+        response: Dict[str, Any] = {}
+        for attempt in range(1, max_attempts + 1):
+            response = self.submit(kind, params, priority=priority,
+                                   deadline_s=deadline_s, wait=wait,
+                                   timeout_s=timeout_s)
+            state = response.get("state")
+            if state != SHED:
+                return response
+            if attempt == max_attempts:
+                break
+            hinted = float(response.get("retry_after_s", 0.0) or 0.0)
+            sleep(hinted + backoff_s(attempt + 1, backoff_base_s,
+                                     backoff_cap_s))
+        return response
+
+    def wait_for(self, job_id: str,
+                 timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "wait", "job_id": job_id}
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        return self.request(message,
+                            timeout_s=(timeout_s + 10.0)
+                            if timeout_s is not None else None)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self.request({"op": "jobs"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request({"op": "drain"}, timeout_s=10.0)
+
+
+__all__ = ["ServeClient", "ServeError", "ServeUnavailable",
+           "socket_path_for", "QUARANTINED"]

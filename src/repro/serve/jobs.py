@@ -1,0 +1,353 @@
+"""Workload registry for the job server.
+
+A job is ``{"kind": K, "params": {...}}`` with JSON-only params, so
+every workload is addressable over the wire and content-fingerprints
+cleanly (:func:`repro.serve.protocol.job_fingerprint`). Results are
+JSON-only dicts for the same reason. The contract that makes the
+service trustworthy: **a job result is a pure function of its params**
+— no session state, wall clock or submission order leaks in — so
+single-flight coalescing, cache serving and crash-retries all return
+the same bytes a cold run would.
+
+Kinds:
+
+``flow``
+    one WCM flow on one generated die (the Table III unit of work);
+    result carries the :class:`~repro.runtime.cache.WcmSummary`
+    payload plus result/manifest fingerprints byte-identical to a
+    cold :func:`~repro.core.flow.run_wcm_flow`.
+``atpg``
+    ``flow`` plus fault-model coverage on the wrapped die.
+``experiment``
+    one full table/figure driver at a named scale.
+``eco``
+    an edit stream applied to a baseline die, solved incrementally on
+    a server-resident :class:`~repro.core.session.WcmSession` when the
+    stream extends the session's applied prefix, cold otherwise —
+    warm or cold, the result is identical by the session contract.
+``noop``
+    a trivial echo/sleep job (tests, benchmarks, liveness probes).
+
+``flow``/``atpg`` run through :func:`repro.experiments.common.run_cell`,
+so workers share the content-addressed :class:`ResultCache` with batch
+runs — a die the CLI already computed is a warm hit for the service
+and vice versa.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigError, ReproError
+
+
+class JobError(ReproError):
+    """Invalid or failing job payload (non-retryable by definition:
+    the same params would fail the same way on any worker)."""
+
+
+# ---------------------------------------------------------------------------
+# Param plumbing
+# ---------------------------------------------------------------------------
+def _require(params: Dict[str, Any], key: str) -> Any:
+    try:
+        return params[key]
+    except KeyError:
+        raise JobError(f"job params missing required key {key!r}") from None
+
+
+def _choice(params: Dict[str, Any], key: str, default: str,
+            allowed: Tuple[str, ...]) -> str:
+    value = params.get(key, default)
+    if value not in allowed:
+        raise JobError(f"params[{key!r}] must be one of {allowed}, "
+                       f"got {value!r}")
+    return value
+
+
+def _flow_spec(params: Dict[str, Any]):
+    """(circuit, die, seed, scale, MethodSpec) from flow-shaped params."""
+    from repro.experiments.common import SCALES, MethodSpec
+
+    circuit = str(_require(params, "circuit"))
+    die = int(_require(params, "die"))
+    seed = int(params.get("seed", 2019))
+    scale_name = _choice(params, "scale", "smoke", tuple(SCALES))
+    method = _choice(params, "method", "ours", ("ours", "agrawal"))
+    scenario = _choice(params, "scenario", "tight", ("tight", "area"))
+    spec = MethodSpec(method=method, scenario=scenario,
+                      no_overlap=bool(params.get("no_overlap", False)))
+    return circuit, die, seed, SCALES[scale_name], spec
+
+
+def _flow_manifest_fp(label: str, result_fp: str) -> str:
+    """Deterministic manifest fingerprint of one served solve — the
+    same derivation the eco differential check uses, so a cold oracle
+    can recompute it without the service in the loop."""
+    from repro.runtime.trace import manifest_fingerprint
+
+    return manifest_fingerprint({
+        "schema": "serve", "label": label, "config": None,
+        "seed": None, "scale": None, "metrics": {},
+        "result_fingerprint": result_fp,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Kind handlers (module-level: workers pickle a reference to execute_job)
+# ---------------------------------------------------------------------------
+def run_noop(params: Dict[str, Any]) -> Dict[str, Any]:
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s < 0:
+        raise JobError(f"params['sleep_s'] must be >= 0, got {sleep_s}")
+    if sleep_s:
+        time.sleep(min(sleep_s, 600.0))
+    if params.get("fail"):
+        raise JobError(str(params.get("fail")))
+    return {"value": params.get("value")}
+
+
+def run_flow(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.common import run_cell
+    from repro.util.fingerprint import fingerprint
+
+    circuit, die, seed, scale, spec = _flow_spec(params)
+    summary, _ = run_cell(circuit, die, seed, scale, spec)
+    payload = summary.to_payload()
+    result_fp = fingerprint(payload)
+    return {
+        "summary": payload,
+        "result_fingerprint": result_fp,
+        "manifest_fingerprint": _flow_manifest_fp(
+            f"flow:{circuit}_d{die}", result_fp),
+    }
+
+
+def run_atpg(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.common import run_cell
+    from repro.runtime.cache import atpg_result_to_payload
+    from repro.util.fingerprint import fingerprint
+
+    circuit, die, seed, scale, spec = _flow_spec(params)
+    include_transition = bool(params.get("include_transition", False))
+    summary, report = run_cell(circuit, die, seed, scale, spec,
+                               with_atpg=True,
+                               include_transition=include_transition)
+    models = {"stuck_at": atpg_result_to_payload(report.stuck_at)}
+    if report.transition is not None:
+        models["transition"] = atpg_result_to_payload(report.transition)
+    payload = {"summary": summary.to_payload(), "atpg": models}
+    result_fp = fingerprint(payload)
+    payload["result_fingerprint"] = result_fp
+    payload["manifest_fingerprint"] = _flow_manifest_fp(
+        f"atpg:{circuit}_d{die}", result_fp)
+    return payload
+
+
+def run_experiment(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.cli import _DRIVERS
+    from repro.experiments.common import (SCALES, result_fingerprint)
+
+    table = str(_require(params, "table"))
+    if table not in _DRIVERS:
+        raise JobError(f"unknown experiment table {table!r}; expected "
+                       f"one of {sorted(_DRIVERS)}")
+    scale_name = _choice(params, "scale", "smoke", tuple(SCALES))
+    seed = int(params.get("seed", 2019))
+    result = _DRIVERS[table](SCALES[scale_name], seed=seed)
+    failures = getattr(result, "failures", ())
+    return {
+        "table": table,
+        "render": result.render(),
+        "result_fingerprint": result_fingerprint(result),
+        "failures": len(failures),
+    }
+
+
+# -- eco --------------------------------------------------------------------
+#: edit ops accepted in an eco job's ``edits`` list
+_ECO_OPS = ("move-ff", "move-tsv", "add-tsv", "remove-tsv", "set")
+
+
+def _edit_from_dict(raw: Dict[str, Any]):
+    from repro.core.session import (AddTsv, MoveFf, MoveTsv, RemoveTsv,
+                                    SetThreshold)
+    from repro.netlist.core import PortKind
+
+    op = _choice(raw, "op", "", _ECO_OPS)
+    try:
+        if op == "move-ff":
+            return MoveFf(str(raw["name"]), float(raw["x"]),
+                          float(raw["y"]))
+        if op == "move-tsv":
+            return MoveTsv(str(raw["name"]), float(raw["x"]),
+                           float(raw["y"]))
+        if op == "add-tsv":
+            kind = (PortKind.TSV_INBOUND if raw.get("dir", "in") == "in"
+                    else PortKind.TSV_OUTBOUND)
+            return AddTsv(str(raw["name"]), kind, float(raw["x"]),
+                          float(raw["y"]),
+                          net=raw.get("net"))
+        if op == "remove-tsv":
+            return RemoveTsv(str(raw["name"]))
+        thresholds = {}
+        if "d_th_um" in raw:
+            thresholds["d_th_um"] = float(raw["d_th_um"])
+        if "cov_th" in raw:
+            thresholds["cov_th"] = float(raw["cov_th"])
+        if not thresholds:
+            raise JobError("'set' edit needs d_th_um and/or cov_th")
+        return SetThreshold(**thresholds)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobError(f"malformed {op!r} edit {raw!r}: {exc}") from None
+
+
+class EcoHost:
+    """One server-resident warm session plus its applied edit prefix.
+
+    Keeps eco results a pure function of the job params: a job whose
+    edit stream extends the applied prefix replays only the suffix on
+    the warm session; any other stream rebuilds the session from the
+    baseline die. Either path is byte-identical by the session
+    contract (DESIGN.md §12)."""
+
+    def __init__(self, params: Dict[str, Any]) -> None:
+        self.die_key = eco_die_key(params)
+        self.session = None
+        self.applied: List[Dict[str, Any]] = []
+
+    def _build(self, params: Dict[str, Any]):
+        from repro.bench import die_profile, generate_die
+        from repro.core import Scenario, WcmConfig, build_problem
+        from repro.core.problem import tight_clock_for
+        from repro.core.session import WcmSession
+
+        circuit, die, seed, _, spec = _flow_spec(params)
+        profile = die_profile(circuit, die)
+        netlist = generate_die(profile, seed=seed)
+        problem = build_problem(netlist)
+        clock = tight_clock_for(problem)
+        scenario = (Scenario.area_optimized() if spec.scenario == "area"
+                    else Scenario.performance_optimized(clock.period_ps))
+        config = (WcmConfig.agrawal(scenario)
+                  if spec.method == "agrawal"
+                  else WcmConfig.ours(scenario))
+        self.session = WcmSession(problem.netlist, config,
+                                  already_prepared=True)
+        self.applied = []
+
+    def solve(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.core.session import result_fingerprint
+
+        edits = params.get("edits", [])
+        if not isinstance(edits, list):
+            raise JobError("params['edits'] must be a list of edit "
+                           "objects")
+        warm = (self.session is not None
+                and edits[:len(self.applied)] == self.applied)
+        if not warm:
+            self._build(params)
+        for raw in edits[len(self.applied):]:
+            self.session.apply(_edit_from_dict(raw))
+            self.applied.append(raw)
+        result = self.session.solve()
+        result_fp = result_fingerprint(result)
+        return {
+            "reused": result.reused_scan_ffs,
+            "additional": result.additional_wrapper_cells,
+            "violation": result.timing_violation,
+            "result_fingerprint": result_fp,
+            "manifest_fingerprint": _flow_manifest_fp(
+                f"eco:{self.die_key}", result_fp),
+            "warm": warm,
+            "dirty_frac": self.session.last_dirty_frac,
+            "fallback": self.session.last_fallback,
+        }
+
+
+def eco_die_key(params: Dict[str, Any]) -> str:
+    """Identity of the die/config an eco job targets (resident-session
+    routing key; also the circuit-breaker key for eco jobs)."""
+    circuit, die, seed, _, spec = _flow_spec(params)
+    return f"{circuit}_d{die}_s{seed}_{spec.method}_{spec.scenario}"
+
+
+def run_eco(params: Dict[str, Any],
+            host: Optional[EcoHost] = None) -> Dict[str, Any]:
+    """Solve one eco job; cold unless a resident *host* is provided."""
+    if host is None:
+        host = EcoHost(params)
+    return host.solve(params)
+
+
+# ---------------------------------------------------------------------------
+# Registry + dispatch
+# ---------------------------------------------------------------------------
+#: kind -> (handler, cacheable, runs on a worker process)
+JOB_KINDS: Dict[str, Tuple[Callable[[Dict[str, Any]], Dict[str, Any]],
+                           bool, bool]] = {
+    "noop": (run_noop, False, True),
+    "flow": (run_flow, True, True),
+    "atpg": (run_atpg, True, True),
+    "experiment": (run_experiment, True, True),
+    # eco runs inline in the daemon, on the resident warm session
+    "eco": (run_eco, True, False),
+}
+
+
+def validate_job(kind: str, params: Any) -> None:
+    """Admission-time shape check (cheap; full validation is the
+    handler's job and a handler failure is terminal, not retried)."""
+    if kind not in JOB_KINDS:
+        raise JobError(f"unknown job kind {kind!r}; expected one of "
+                       f"{sorted(JOB_KINDS)}")
+    if not isinstance(params, dict):
+        raise JobError(f"job params must be an object, "
+                       f"got {type(params).__name__}")
+
+
+def is_cacheable(kind: str) -> bool:
+    return kind in JOB_KINDS and JOB_KINDS[kind][1]
+
+
+def runs_on_worker(kind: str) -> bool:
+    return kind not in JOB_KINDS or JOB_KINDS[kind][2]
+
+
+def breaker_key(kind: str, params: Dict[str, Any]) -> str:
+    """Circuit-breaker bucket: jobs that crash for the same underlying
+    reason (same die / same table) must trip the same breaker."""
+    try:
+        if kind in ("flow", "atpg", "eco"):
+            circuit = params.get("circuit", "?")
+            die = params.get("die", "?")
+            return f"{kind}:{circuit}_d{die}"
+        if kind == "experiment":
+            return f"experiment:{params.get('table', '?')}"
+    except AttributeError:
+        pass
+    return f"{kind}:*"
+
+
+def execute_job(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one job dict to its result dict.
+
+    Module-level and importable, so the supervisor's worker processes
+    can pickle a reference to it; raises :class:`JobError` (or any
+    domain error) on deterministic failure — the server maps raised
+    exceptions to a terminal ``failed`` state, never a retry."""
+    kind = job.get("kind")
+    params = job.get("params", {})
+    validate_job(kind, params)
+    handler = JOB_KINDS[kind][0]
+    try:
+        return handler(params)
+    except JobError:
+        raise
+    except ConfigError as exc:
+        raise JobError(f"invalid job configuration: {exc}") from exc
+    except (KeyError, ValueError, TypeError) as exc:
+        raise JobError(
+            f"{kind} job failed deterministically: "
+            f"{type(exc).__name__}: {exc}") from exc

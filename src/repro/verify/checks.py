@@ -410,35 +410,20 @@ _ECO_VOLATILE_COUNTERS = ("sta.", "session.", "sim.", "atpg.",
 
 
 def _eco_netlist_payload(netlist) -> dict:
-    """Canonical structural payload of a netlist (not a dataclass, so
-    :func:`fingerprint` needs the explicit rendering)."""
-    return {
-        "name": netlist.name,
-        "ports": [(p.name, p.kind.value, p.net, p.x, p.y)
-                  for p in netlist.ports.values()],
-        "instances": [(i.name, i.cell.name,
-                       tuple(sorted(i.connections.items())), i.x, i.y)
-                      for i in netlist.instances.values()],
-        "nets": [(net.name, net.driver, tuple(net.sinks))
-                 for net in netlist.nets.values()],
-    }
+    """Canonical structural payload of a netlist (now shared with the
+    job server as :func:`repro.core.session.netlist_payload`)."""
+    from repro.core.session import netlist_payload
+
+    return netlist_payload(netlist)
 
 
 def _eco_result_fp(result) -> str:
     """Fingerprint of everything a solve produces (the byte-identity
-    oracle surface: plan, wrapped netlist, timings, stats, order)."""
-    from repro.util.fingerprint import fingerprint
+    oracle surface, shared with ``repro.serve`` as
+    :func:`repro.core.session.result_fingerprint`)."""
+    from repro.core.session import result_fingerprint
 
-    return fingerprint({
-        "plan": result.plan,
-        "insertion": result.insertion,
-        "final_timing": result.final_timing,
-        "test_mode_timing": result.test_mode_timing,
-        "graph_stats": result.graph_stats,
-        "partitions": result.partitions,
-        "order": [kind.value for kind in result.order],
-        "wrapped": _eco_netlist_payload(result.wrapped_netlist),
-    })
+    return result_fingerprint(result)
 
 
 def _eco_solve(runner) -> tuple:

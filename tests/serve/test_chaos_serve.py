@@ -1,0 +1,240 @@
+"""Chaos-hardening tests for the job daemon.
+
+Worker-side faults are injected with :class:`ChaosPlan` keyed by the
+job's admission sequence number (``seq`` starts at 1 and advances on
+every submission, refusals included), installed via
+``configure(chaos=...)`` *before* the server spawns its pool so the
+plan travels to the workers. The acceptance bar from the issue: every
+submitted job ends in **exactly one** terminal state, with no lost or
+duplicated results, and anything that does come back ``done`` is
+byte-identical to a clean computation.
+"""
+
+import time
+from pathlib import Path
+
+from repro.runtime.chaos import ChaosPlan, ChaosSpec
+from repro.runtime.config import configure, current_config
+from repro.serve import jobs as jobs_mod
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    SHED,
+    TERMINAL_STATES,
+)
+from repro.serve.queue import AdmissionPolicy
+from repro.serve.server import WcmServer
+
+import threading
+
+
+def _start(state_dir, **kwargs):
+    kwargs.setdefault("workers", 1)
+    server = WcmServer(state_dir, **kwargs).start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServeClient(server.socket_path)
+    assert client.wait_until_up(timeout_s=15.0)
+    return server, client
+
+
+class TestWorkerCrash:
+    def test_crash_mid_job_retries_to_done(self, tmp_path):
+        configure(chaos=ChaosPlan(
+            cells={1: ChaosSpec("crash", attempts=1)}))
+        server, client = _start(tmp_path)
+        try:
+            response = client.submit("noop", {"value": 7},
+                                     timeout_s=60.0)
+            assert response["state"] == DONE
+            assert response["result"] == {"value": 7}
+            assert response["attempts"] == 2  # crashed once, retried
+            counters = client.stats()["counters"]
+            assert counters["done"] == 1      # exactly one result
+            assert counters["retries"] == 1
+            assert counters["failed"] == 0
+        finally:
+            server.stop()
+
+    def test_crashes_exhaust_to_failed_then_breaker_quarantines(
+            self, tmp_path):
+        configure(chaos=ChaosPlan(
+            cells={1: ChaosSpec("crash", attempts=10)}))
+        policy = AdmissionPolicy(max_attempts=2, breaker_threshold=2,
+                                 breaker_probe_interval=4,
+                                 backoff_base_s=0.05, backoff_cap_s=0.2)
+        server, client = _start(tmp_path, policy=policy)
+        try:
+            doomed = client.submit("noop", {"value": 1}, timeout_s=60.0)
+            assert doomed["state"] == FAILED
+            assert doomed["attempts"] == 2
+            assert "crash" in doomed["error"]
+
+            # two crash strikes opened the noop breaker
+            verdicts = [client.submit("noop", {"value": 10 + i},
+                                      timeout_s=60.0)["state"]
+                        for i in range(4)]
+            # refusals 1..3 quarantine; the 4th is the half-open probe,
+            # runs clean (its seq is past the chaos plan) and closes
+            assert verdicts == [QUARANTINED] * 3 + [DONE]
+            assert client.submit("noop", {"value": 99},
+                                 timeout_s=60.0)["state"] == DONE
+            counters = client.stats()["counters"]
+            assert counters["breaker_opened"] == 1
+            assert counters["breaker_closed"] == 1
+        finally:
+            server.stop()
+
+
+class TestHangAndDelay:
+    def test_hang_is_killed_by_budget_and_retried_clean(self, tmp_path):
+        configure(chaos=ChaosPlan(
+            cells={1: ChaosSpec("hang", attempts=1)}))
+        server, client = _start(tmp_path, job_timeout_s=0.6)
+        try:
+            response = client.submit("noop", {"value": 3},
+                                     timeout_s=60.0)
+            assert response["state"] == DONE
+            assert response["result"] == {"value": 3}
+            assert response["attempts"] == 2
+        finally:
+            server.stop()
+
+    def test_delay_past_deadline_sheds_exactly_once(self, tmp_path):
+        configure(chaos=ChaosPlan(
+            cells={1: ChaosSpec("delay", seconds=30.0)}))
+        server, client = _start(tmp_path)
+        try:
+            shed = client.submit("noop", {"value": 1}, deadline_s=0.4,
+                                 timeout_s=60.0)
+            assert shed["state"] == SHED
+            clean = client.submit("noop", {"value": 2}, timeout_s=60.0)
+            assert clean["state"] == DONE
+            counters = client.stats()["counters"]
+            assert counters["shed"] == 1
+            assert counters["done"] == 1
+        finally:
+            server.stop()
+
+
+class TestRaisedChaos:
+    def test_raise_is_deterministic_terminal_no_retry(self, tmp_path):
+        configure(chaos=ChaosPlan(cells={1: ChaosSpec("raise")}))
+        server, client = _start(tmp_path)
+        try:
+            response = client.submit("noop", {"value": 1},
+                                     timeout_s=60.0)
+            assert response["state"] == FAILED
+            assert response["attempts"] == 1  # exceptions do not retry
+            assert "chaos" in response["error"]
+            assert client.stats()["counters"]["retries"] == 0
+        finally:
+            server.stop()
+
+
+class TestTornCache:
+    PARAMS = {"circuit": "b11", "die": 1, "scale": "smoke"}
+
+    def test_garbage_cache_entries_recompute_identically(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            first = client.submit("flow", dict(self.PARAMS),
+                                  timeout_s=120.0)
+            assert first["state"] == DONE
+            cache_root = Path(server.cache.root)
+            entries = sorted(cache_root.glob("[0-9a-f][0-9a-f]/*.json"))
+            assert entries  # serve entry + the flow's own wcm entry
+            for entry in entries:
+                entry.write_bytes(b"\x00\xffnot json\xfe")
+            again = client.submit("flow", dict(self.PARAMS),
+                                  timeout_s=120.0)
+            assert again["state"] == DONE
+            assert again["cached"] is False
+            assert again["result"] == first["result"]
+            assert again["result"]["result_fingerprint"] == \
+                first["result"]["result_fingerprint"]
+            assert again["result"]["manifest_fingerprint"] == \
+                first["result"]["manifest_fingerprint"]
+        finally:
+            server.stop()
+
+
+class TestChaosStorm:
+    def test_every_job_ends_in_exactly_one_terminal_state(self, tmp_path):
+        configure(chaos=ChaosPlan(cells={
+            1: ChaosSpec("crash", attempts=1),
+            2: ChaosSpec("hang", attempts=1),
+            3: ChaosSpec("raise"),
+            4: ChaosSpec("delay", seconds=0.2),
+            5: ChaosSpec("crash", attempts=10),
+            6: ChaosSpec("delay", seconds=0.1),
+        }))
+        policy = AdmissionPolicy(queue_caps=(2, 2, 2), max_attempts=2,
+                                 breaker_threshold=3,
+                                 backoff_base_s=0.05, backoff_cap_s=0.2)
+        server, client = _start(tmp_path, workers=2, policy=policy,
+                                job_timeout_s=0.8)
+        try:
+            submitted = {}
+            for value in range(8):
+                response = client.submit("noop", {"value": value},
+                                         wait=False)
+                assert response["ok"]
+                submitted[response["job_id"]] = value
+
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                snapshot = client.jobs()["jobs"]
+                states = {j["job_id"]: j["state"] for j in snapshot}
+                if all(states.get(job_id) in TERMINAL_STATES
+                       for job_id in submitted):
+                    break
+                time.sleep(0.05)
+
+            # exactly one record per submission, all terminal
+            ids = [j["job_id"] for j in snapshot]
+            assert len(ids) == len(set(ids))
+            for job_id in submitted:
+                assert states[job_id] in TERMINAL_STATES, \
+                    f"{job_id} never reached a terminal state"
+
+            # no lost or corrupted results: every done job answers its
+            # own submission's value
+            for job_id, value in submitted.items():
+                final = client.wait_for(job_id, timeout_s=10.0)
+                if final["state"] == DONE:
+                    assert final["result"] == {"value": value}
+
+            # the ledger balances: every admission is accounted for
+            counters = client.stats()["counters"]
+            terminal_total = (counters["done"] + counters["failed"]
+                              + counters["shed"]
+                              + counters["quarantined"])
+            assert terminal_total == len(submitted)
+        finally:
+            server.stop()
+
+
+class TestChaosByteIdentity:
+    PARAMS = {"circuit": "b11", "die": 1, "scale": "smoke"}
+
+    def test_flow_result_after_crash_matches_clean_compute(self, tmp_path):
+        configure(chaos=ChaosPlan(
+            cells={1: ChaosSpec("crash", attempts=1)}))
+        server, client = _start(tmp_path)
+        try:
+            served = client.submit("flow", dict(self.PARAMS),
+                                   timeout_s=120.0)
+            assert served["state"] == DONE
+            assert served["attempts"] == 2
+        finally:
+            server.stop()
+        configure(no_cache=True)
+        current_config().chaos = None  # conftest restores it
+        cold = jobs_mod.run_flow(dict(self.PARAMS))
+        assert served["result"] == cold
+        assert served["result"]["result_fingerprint"] == \
+            cold["result_fingerprint"]
+        assert served["result"]["manifest_fingerprint"] == \
+            cold["manifest_fingerprint"]

@@ -1,0 +1,129 @@
+"""Tests for the JSON-line wire protocol (framing + job identity)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE,
+    PRIORITIES,
+    LineChannel,
+    ProtocolError,
+    decode,
+    encode,
+    job_fingerprint,
+    validate_priority,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_sorted_line(self):
+        raw = encode({"b": 1, "a": 2})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert raw.index(b'"a"') < raw.index(b'"b"')
+
+    def test_decode_roundtrip(self):
+        message = {"op": "submit", "params": {"die": 1}}
+        assert decode(encode(message).rstrip(b"\n")) == message
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json {")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2, 3]")
+
+
+class TestJobFingerprint:
+    def test_stable(self):
+        fp = job_fingerprint("flow", {"circuit": "b11", "die": 1})
+        assert fp == job_fingerprint("flow", {"die": 1, "circuit": "b11"})
+
+    def test_kind_and_params_matter(self):
+        base = job_fingerprint("flow", {"circuit": "b11", "die": 1})
+        assert base != job_fingerprint("atpg", {"circuit": "b11", "die": 1})
+        assert base != job_fingerprint("flow", {"circuit": "b11", "die": 2})
+
+
+class TestLineChannel:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return LineChannel(left), LineChannel(right)
+
+    def test_send_recv_many(self):
+        a, b = self._pair()
+        try:
+            for index in range(3):
+                a.send({"n": index})
+            assert [b.recv()["n"] for _ in range(3)] == [0, 1, 2]
+        finally:
+            a.close()
+            b.close()
+
+    def test_blank_lines_tolerated(self):
+        a, b = self._pair()
+        try:
+            a.sock.sendall(b"\n  \n" + encode({"ok": True}))
+            assert b.recv() == {"ok": True}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        try:
+            a.send({"last": 1})
+            a.close()
+            assert b.recv() == {"last": 1}
+            assert b.recv() is None
+        finally:
+            b.close()
+
+    def test_mid_message_close_raises(self):
+        a, b = self._pair()
+        try:
+            a.sock.sendall(b'{"torn": ')
+            a.close()
+            with pytest.raises(ProtocolError):
+                b.recv()
+        finally:
+            b.close()
+
+    def test_oversized_line_raises(self):
+        a, b = self._pair()
+        filler = b"x" * 65536
+        received = []
+
+        def pump():
+            try:
+                received.append(b.recv())
+            except ProtocolError as exc:
+                received.append(exc)
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+        sent = 0
+        try:
+            while sent <= MAX_LINE + 65536:
+                a.sock.sendall(filler)
+                sent += len(filler)
+        except OSError:
+            pass  # reader may already have given up
+        thread.join(timeout=30)
+        a.close()
+        b.close()
+        assert not thread.is_alive()
+        assert isinstance(received[0], ProtocolError)
+
+
+class TestPriorities:
+    def test_known_priorities_pass(self):
+        for name in PRIORITIES:
+            assert validate_priority(name) == name
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_priority("urgent")

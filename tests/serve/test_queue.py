@@ -1,0 +1,346 @@
+"""Tests for admission control, backoff, breakers and the journal.
+
+Everything here is clock-free: the queue takes monotonic instants as
+arguments, so each timing path is driven synthetically.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    SHED,
+    TERMINAL_STATES,
+)
+from repro.serve.queue import (
+    AdmissionPolicy,
+    JobJournal,
+    JobQueue,
+    backoff_s,
+)
+
+
+def _policy(**overrides):
+    defaults = dict(queue_caps=(2, 2, 2), max_attempts=3,
+                    backoff_base_s=0.05, backoff_cap_s=1.0,
+                    breaker_threshold=2, breaker_probe_interval=4)
+    defaults.update(overrides)
+    return AdmissionPolicy(**defaults)
+
+
+class TestBackoff:
+    def test_first_attempt_has_no_delay(self):
+        assert backoff_s(1, 0.05, 5.0) == 0.0
+
+    def test_doubles_then_caps(self):
+        got = [backoff_s(a, 0.05, 0.15) for a in (2, 3, 4, 5)]
+        assert got == [0.05, 0.10, 0.15, 0.15]
+
+    def test_deterministic(self):
+        assert backoff_s(4, 0.05, 5.0) == backoff_s(4, 0.05, 5.0)
+
+
+class TestAdmission:
+    def test_submit_queues(self):
+        queue = JobQueue(_policy())
+        job, verdict = queue.submit("noop", {"value": 1})
+        assert verdict == "queued"
+        assert job.state == QUEUED
+        assert queue.counters["submitted"] == 1
+
+    def test_identical_submission_coalesces(self):
+        queue = JobQueue(_policy())
+        first, _ = queue.submit("noop", {"value": 1})
+        second, verdict = queue.submit("noop", {"value": 1})
+        assert verdict == "coalesced"
+        assert second is first
+        assert first.coalesced == 1
+        assert queue.counters["coalesced"] == 1
+
+    def test_overflow_sheds_with_scaled_retry_after(self):
+        queue = JobQueue(_policy(queue_caps=(1, 1, 1),
+                                 shed_retry_after_s=0.5))
+        queue.submit("noop", {"value": 1})
+        job, verdict = queue.submit("noop", {"value": 2})
+        assert verdict == SHED
+        assert job.state == SHED
+        assert job.result["retry_after_s"] >= 0.5
+        assert job.terminal_event.is_set()
+        assert queue.counters["shed"] == 1
+
+    def test_caps_are_per_priority_class(self):
+        queue = JobQueue(_policy(queue_caps=(1, 1, 1)))
+        queue.submit("noop", {"value": 1}, priority="normal")
+        _, verdict = queue.submit("noop", {"value": 2},
+                                  priority="interactive")
+        assert verdict == "queued"
+
+    def test_draining_sheds_new_work(self):
+        queue = JobQueue(_policy())
+        queue.start_drain()
+        job, verdict = queue.submit("noop", {"value": 1})
+        assert verdict == SHED
+        assert "draining" in job.error
+        assert queue.counters["shed"] == 1
+
+    def test_unknown_kind_rejected(self):
+        from repro.serve.jobs import JobError
+
+        queue = JobQueue(_policy())
+        with pytest.raises(JobError):
+            queue.submit("mine-bitcoin", {})
+
+
+class TestScheduling:
+    def test_priority_beats_fifo(self):
+        queue = JobQueue(_policy())
+        queue.submit("noop", {"value": 1}, priority="batch")
+        queue.submit("noop", {"value": 2}, priority="interactive")
+        job, _ = queue.next_ready(now=0.0)
+        assert job.params["value"] == 2
+        assert job.state == "running"
+        assert job.attempts == 1
+
+    def test_fifo_within_class(self):
+        queue = JobQueue(_policy())
+        queue.submit("noop", {"value": 1})
+        queue.submit("noop", {"value": 2})
+        first, _ = queue.next_ready(now=0.0)
+        second, _ = queue.next_ready(now=0.0)
+        assert (first.params["value"], second.params["value"]) == (1, 2)
+
+    def test_backoff_defers_and_reports_wake_time(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.fail(job, "crash", retryable=True, now=10.0, crash=True)
+        ready, wake_at = queue.next_ready(now=10.0)
+        assert ready is None
+        assert wake_at == pytest.approx(10.05)
+        ready, _ = queue.next_ready(now=10.06)
+        assert ready is job
+
+    def test_requeue_is_uncharged(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        assert job.attempts == 1
+        queue.requeue(job)
+        assert job.state == QUEUED
+        assert job.attempts == 0
+
+
+class TestRetryAndFailure:
+    def test_retryable_failure_requeues_with_backoff(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        state = queue.fail(job, "worker crashed", retryable=True,
+                           now=1.0, crash=True)
+        assert state == QUEUED
+        assert job.not_before == pytest.approx(1.05)
+        assert queue.counters["retries"] == 1
+
+    def test_attempts_exhausted_is_terminal_failed(self):
+        queue = JobQueue(_policy(max_attempts=2, breaker_threshold=99))
+        job, _ = queue.submit("noop", {"value": 1})
+        for tick in (0.0, 10.0):  # past the retry's backoff window
+            ready, _ = queue.next_ready(now=tick)
+            assert ready is job
+            queue.fail(job, "crash", retryable=True, now=tick, crash=True)
+        assert job.state == FAILED
+        assert job.attempts == 2
+        assert queue.counters["failed"] == 1
+
+    def test_non_retryable_failure_is_immediately_terminal(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.fail(job, "ValueError: bad params", retryable=False)
+        assert job.state == FAILED
+        assert job.attempts == 1
+
+    def test_exactly_one_terminal_state(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.complete(job, {"value": 1})
+        queue.fail(job, "late crash report", retryable=True, crash=True)
+        queue.complete(job, {"value": 999})
+        assert job.state == DONE
+        assert job.result == {"value": 1}
+        assert queue.counters["done"] == 1
+        assert queue.counters["failed"] == 0
+
+    def test_deadline_expiry_while_queued_sheds(self):
+        queue = JobQueue(_policy())
+        job, _ = queue.submit("noop", {"value": 1}, deadline_s=5.0,
+                              now=0.0)
+        ready, _ = queue.next_ready(now=6.0)
+        assert ready is None
+        assert job.state == SHED
+        assert "deadline" in job.error
+
+
+class TestCircuitBreaker:
+    def _crash_once(self, queue, value):
+        job, verdict = queue.submit("noop", {"value": value})
+        if verdict != "queued":
+            return job, verdict
+        queue.next_ready(now=0.0)
+        queue.fail(job, "worker crashed", retryable=True, now=0.0,
+                   crash=True)
+        tick = 100.0
+        while not job.terminal:  # retries left: crash them too
+            ready, _ = queue.next_ready(now=tick)
+            assert ready is job
+            queue.fail(job, "worker crashed", retryable=True,
+                       now=tick, crash=True)
+            tick += 100.0
+        return job, verdict
+
+    def test_threshold_crashes_open_the_breaker(self):
+        queue = JobQueue(_policy(max_attempts=1, breaker_threshold=2))
+        self._crash_once(queue, 1)
+        self._crash_once(queue, 2)
+        assert queue.counters["breaker_opened"] == 1
+        job, verdict = queue.submit("noop", {"value": 3})
+        assert verdict == QUARANTINED
+        assert job.state == QUARANTINED
+        assert job.terminal_event.is_set()
+
+    def test_every_nth_refusal_probes(self):
+        queue = JobQueue(_policy(max_attempts=1, breaker_threshold=2,
+                                 breaker_probe_interval=4))
+        self._crash_once(queue, 1)
+        self._crash_once(queue, 2)
+        verdicts = [queue.submit("noop", {"value": 10 + i})[1]
+                    for i in range(4)]
+        assert verdicts == [QUARANTINED, QUARANTINED, QUARANTINED,
+                            "queued"]
+
+    def test_probe_success_closes_the_breaker(self):
+        queue = JobQueue(_policy(max_attempts=1, breaker_threshold=2,
+                                 breaker_probe_interval=2))
+        self._crash_once(queue, 1)
+        self._crash_once(queue, 2)
+        queue.submit("noop", {"value": 3})          # refused
+        probe, verdict = queue.submit("noop", {"value": 4})
+        assert verdict == "queued" and probe.probe
+        queue.next_ready(now=0.0)
+        queue.complete(probe, {"value": 4})
+        assert queue.counters["breaker_closed"] == 1
+        _, verdict = queue.submit("noop", {"value": 5})
+        assert verdict == "queued"
+
+    def test_probe_failure_rearms_without_retry(self):
+        queue = JobQueue(_policy(max_attempts=3, breaker_threshold=2,
+                                 breaker_probe_interval=2))
+        # one job crashing through all its retries opens the breaker
+        job, _ = queue.submit("noop", {"value": 1})
+        tick = 0.0
+        while not job.terminal:
+            ready, _ = queue.next_ready(now=tick)
+            assert ready is job
+            queue.fail(job, "crash", retryable=True, now=tick, crash=True)
+            tick += 100.0
+        assert queue.counters["breaker_opened"] == 1
+        queue.submit("noop", {"value": 2})          # refused
+        probe, verdict = queue.submit("noop", {"value": 3})
+        assert verdict == "queued" and probe.probe
+        ready, _ = queue.next_ready(now=tick)
+        assert ready is probe
+        # a probe failure is terminal even though retries remain
+        queue.fail(probe, "crash", retryable=True, now=tick, crash=True)
+        assert probe.state == FAILED
+        _, verdict = queue.submit("noop", {"value": 4})
+        assert verdict == QUARANTINED
+
+
+class TestJournal:
+    def test_submit_then_terminal_leaves_nothing_pending(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(), journal=JobJournal(path))
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.complete(job, {"value": 1})
+        queue.journal.close()
+        assert JobJournal.replay(path) == []
+
+    def test_unfinished_submissions_replay(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(), journal=JobJournal(path))
+        queue.submit("noop", {"value": 1})
+        queue.submit("noop", {"value": 2}, priority="interactive")
+        queue.journal.close()
+        pending = JobJournal.replay(path)
+        assert [p["params"]["value"] for p in pending] == [1, 2]
+        assert pending[1]["priority"] == 0
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(), journal=JobJournal(path))
+        queue.submit("noop", {"value": 1})
+        queue.journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"t": "subm')  # daemon died mid-write
+        pending = JobJournal.replay(path)
+        assert [p["params"]["value"] for p in pending] == [1]
+
+    def test_refusals_are_not_journaled_as_pending(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(queue_caps=(1, 1, 1)),
+                         journal=JobJournal(path))
+        queue.submit("noop", {"value": 1})
+        _, verdict = queue.submit("noop", {"value": 2})
+        assert verdict == SHED
+        queue.journal.close()
+        pending = JobJournal.replay(path)
+        assert [p["params"]["value"] for p in pending] == [1]
+
+    def test_recover_records_readmits(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(), journal=JobJournal(path))
+        queue.submit("noop", {"value": 1})
+        queue.journal.close()
+        pending = JobJournal.replay(path)
+
+        fresh = JobQueue(_policy())
+        assert fresh.recover_records(pending) == 1
+        assert fresh.counters["recovered"] == 1
+        job, _ = fresh.next_ready(now=0.0)
+        assert job.params == {"value": 1}
+        assert job.deadline is None
+
+    def test_journal_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "queue.journal"
+        queue = JobQueue(_policy(), journal=JobJournal(path))
+        job, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.complete(job, {"value": 1})
+        queue.journal.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["t"] for r in records] == ["submit", "terminal"]
+        assert records[1]["state"] == DONE
+
+
+class TestStats:
+    def test_states_and_counters_are_consistent(self):
+        queue = JobQueue(_policy(queue_caps=(1, 1, 1)))
+        done, _ = queue.submit("noop", {"value": 1})
+        queue.next_ready(now=0.0)
+        queue.complete(done, {"value": 1})
+        queue.submit("noop", {"value": 2})
+        queue.submit("noop", {"value": 3})  # shed: class full
+        stats = queue.stats()
+        assert stats["states"][DONE] == 1
+        assert stats["states"][QUEUED] == 1
+        assert stats["states"][SHED] == 1
+        assert stats["counters"]["submitted"] == 2
+        for job in queue.jobs.values():
+            assert job.state in TERMINAL_STATES + (QUEUED,)

@@ -1,0 +1,377 @@
+"""Integration tests for the WCM job daemon.
+
+Real daemons over real Unix sockets in ``tmp_path``, driven through
+:class:`ServeClient` — plus one subprocess test for the SIGTERM drain
+contract (`repro serve` exits 0 after finishing in-flight work).
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime.config import configure
+from repro.serve import jobs as jobs_mod
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.protocol import DONE, SHED, encode, job_fingerprint
+from repro.serve.queue import AdmissionPolicy
+from repro.serve.server import WcmServer
+
+_SRC = str(Path(repro.__file__).parents[1])
+
+
+def _start(state_dir, **kwargs):
+    kwargs.setdefault("workers", 1)
+    server = WcmServer(state_dir, **kwargs).start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(server.socket_path)
+    assert client.wait_until_up(timeout_s=15.0)
+    return server, client
+
+
+def _stop(server):
+    server.stop()
+
+
+def _wait_running(client, job_id, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        states = {j["job_id"]: j["state"] for j in client.jobs()["jobs"]}
+        if states.get(job_id) == "running":
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"{job_id} never started running")
+
+
+class TestBasics:
+    def test_noop_roundtrip(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            response = client.submit("noop", {"value": 42})
+            assert response["state"] == DONE
+            assert response["result"] == {"value": 42}
+            assert response["attempts"] == 1
+            assert response["cached"] is False
+        finally:
+            _stop(server)
+
+    def test_ping_and_stats(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            assert client.ping()["pong"] is True
+            client.submit("noop", {"value": 1})
+            stats = client.stats()
+            assert stats["counters"]["done"] == 1
+            assert stats["workers"] == 1
+        finally:
+            _stop(server)
+
+    def test_deterministic_job_error_is_terminal_failed(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            response = client.submit("noop", {"fail": "boom"})
+            assert response["state"] == "failed"
+            assert "boom" in response["error"]
+            assert response["attempts"] == 1  # never retried
+        finally:
+            _stop(server)
+
+    def test_no_wait_then_wait_op(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            response = client.submit("noop", {"value": 3, "sleep_s": 0.2},
+                                     wait=False)
+            assert response["ok"]
+            job_id = response["job_id"]
+            final = client.wait_for(job_id, timeout_s=30.0)
+            assert final["state"] == DONE
+            assert final["result"] == {"value": 3}
+        finally:
+            _stop(server)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submits_compute_once(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            params = {"value": 7, "sleep_s": 0.5}
+            first = client.submit("noop", params, wait=False)
+            assert first["verdict"] == "queued"
+            # wait until it is actually on the worker, then pile on
+            _wait_running(client, first["job_id"])
+            results = []
+
+            def rider():
+                results.append(ServeClient(server.socket_path).submit(
+                    "noop", params))
+
+            threads = [threading.Thread(target=rider) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == 4
+            assert all(r["state"] == DONE for r in results)
+            assert all(r["result"] == {"value": 7} for r in results)
+            assert all(r["job_id"] == first["job_id"] for r in results)
+            counters = client.stats()["counters"]
+            assert counters["done"] == 1        # computed exactly once
+            assert counters["coalesced"] == 4
+        finally:
+            _stop(server)
+
+
+class TestAdmissionOverWire:
+    def test_overflow_sheds_with_retry_after(self, tmp_path):
+        policy = AdmissionPolicy(queue_caps=(1, 1, 1))
+        server, client = _start(tmp_path, policy=policy)
+        try:
+            hog = client.submit("noop", {"value": 1, "sleep_s": 1.0},
+                                wait=False)
+            _wait_running(client, hog["job_id"])
+            client.submit("noop", {"value": 2, "sleep_s": 0.1},
+                          wait=False)  # fills the one queued slot
+            shed = client.submit("noop", {"value": 3}, wait=False)
+            assert shed["state"] == SHED
+            assert shed["retry_after_s"] > 0
+        finally:
+            _stop(server)
+
+    def test_client_backoff_eventually_admits(self, tmp_path):
+        policy = AdmissionPolicy(queue_caps=(1, 1, 1))
+        server, client = _start(tmp_path, policy=policy)
+        try:
+            hog = client.submit("noop", {"value": 1, "sleep_s": 0.4},
+                                wait=False)
+            _wait_running(client, hog["job_id"])
+            client.submit("noop", {"value": 2}, wait=False)
+            response = client.submit_with_backoff(
+                "noop", {"value": 3}, max_attempts=8,
+                backoff_base_s=0.05, backoff_cap_s=0.2)
+            assert response["state"] == DONE
+            assert response["result"] == {"value": 3}
+        finally:
+            _stop(server)
+
+    def test_running_deadline_sheds_and_pool_recovers(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            shed = client.submit("noop", {"value": 1, "sleep_s": 30.0},
+                                 deadline_s=0.4)
+            assert shed["state"] == SHED
+            assert "deadline" in shed["error"]
+            # the killed worker was replaced: the pool still serves
+            ok = client.submit("noop", {"value": 2})
+            assert ok["state"] == DONE
+        finally:
+            _stop(server)
+
+
+class TestProtocolRobustness:
+    def test_garbage_line_answered_then_dropped(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(10.0)
+            sock.connect(str(server.socket_path))
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.recv(65536).split(b"\n")[0])
+            assert reply["ok"] is False
+            assert sock.recv(65536) == b""  # server dropped us
+            sock.close()
+            assert client.submit("noop", {"value": 1})["state"] == DONE
+        finally:
+            _stop(server)
+
+    def test_unknown_op_is_an_error_not_a_crash(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            response = client.request({"op": "frobnicate"})
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]
+            assert client.ping()["pong"]
+        finally:
+            _stop(server)
+
+    def test_disconnecting_client_does_not_lose_the_job(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(str(server.socket_path))
+            sock.sendall(encode({"op": "submit", "kind": "noop",
+                                 "params": {"value": 9, "sleep_s": 0.3},
+                                 "wait": False}))
+            job_id = json.loads(sock.recv(65536).split(b"\n")[0])["job_id"]
+            sock.close()  # vanish without reading anything further
+            final = client.wait_for(job_id, timeout_s=30.0)
+            assert final["state"] == DONE
+            assert final["result"] == {"value": 9}
+        finally:
+            _stop(server)
+
+
+class TestCacheAndByteIdentity:
+    PARAMS = {"circuit": "b11", "die": 1, "scale": "smoke"}
+
+    def test_flow_served_warm_matches_cold_and_survives_restart(
+            self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            first = client.submit("flow", dict(self.PARAMS),
+                                  timeout_s=120.0)
+            assert first["state"] == DONE
+            assert first["cached"] is False
+        finally:
+            _stop(server)
+
+        # a fresh daemon over the same state dir serves from cache
+        server, client = _start(tmp_path)
+        try:
+            second = client.submit("flow", dict(self.PARAMS),
+                                   timeout_s=120.0)
+            assert second["state"] == DONE
+            assert second["cached"] is True
+            assert second["result"] == first["result"]
+        finally:
+            _stop(server)
+
+        # byte-identity: warm served result == cold in-process compute
+        configure(no_cache=True)
+        cold = jobs_mod.run_flow(dict(self.PARAMS))
+        assert cold == first["result"]
+        assert cold["result_fingerprint"] == \
+            second["result"]["result_fingerprint"]
+        assert cold["manifest_fingerprint"] == \
+            second["result"]["manifest_fingerprint"]
+
+    def test_torn_cache_entry_quarantines_and_recomputes(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            first = client.submit("flow", dict(self.PARAMS),
+                                  timeout_s=120.0)
+            assert first["state"] == DONE
+            entry = server.cache.path_for(
+                job_fingerprint("flow", dict(self.PARAMS)))
+            data = entry.read_bytes()
+            entry.write_bytes(data[:len(data) // 2])  # torn write
+            again = client.submit("flow", dict(self.PARAMS),
+                                  timeout_s=120.0)
+            assert again["state"] == DONE
+            assert again["result"] == first["result"]
+            assert server.cache.stats.quarantined >= 1
+        finally:
+            _stop(server)
+
+    def test_misshapen_cache_entry_quarantines(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            fp = job_fingerprint("flow", dict(self.PARAMS))
+            path = server.cache.path_for(fp)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text('{"schema": 999, "not": "a served job"}',
+                            encoding="utf-8")
+            response = client.submit("flow", dict(self.PARAMS),
+                                     timeout_s=120.0)
+            assert response["state"] == DONE
+            assert response["cached"] is False
+            assert server.cache.stats.quarantined >= 1
+        finally:
+            _stop(server)
+
+
+class TestEcoResidency:
+    def test_warm_prefix_replay_matches_cold(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            base = {"circuit": "b11", "die": 1,
+                    "edits": [{"op": "set", "d_th_um": 40.0}]}
+            extended = {"circuit": "b11", "die": 1,
+                        "edits": base["edits"]
+                        + [{"op": "set", "cov_th": 0.5}]}
+            first = client.submit("eco", base, timeout_s=120.0)
+            assert first["state"] == DONE
+            assert first["result"]["warm"] is False
+            second = client.submit("eco", extended, timeout_s=120.0)
+            assert second["state"] == DONE
+            assert second["result"]["warm"] is True
+        finally:
+            _stop(server)
+        configure(no_cache=True)
+        cold = jobs_mod.run_eco(extended)
+        assert cold["result_fingerprint"] == \
+            second["result"]["result_fingerprint"]
+        assert cold["manifest_fingerprint"] == \
+            second["result"]["manifest_fingerprint"]
+
+
+class TestDrainAndRecovery:
+    def test_drain_finishes_inflight_and_journals_queued(self, tmp_path):
+        server, client = _start(tmp_path)
+        try:
+            running = client.submit("noop", {"value": 1, "sleep_s": 0.6},
+                                    wait=False)
+            queued = [client.submit("noop", {"value": 10 + i},
+                                    wait=False) for i in range(2)]
+            client.drain()
+            server.serve_forever()  # returns once drained
+            final = server.queue.get(running["job_id"])
+            assert final.state == DONE  # in-flight work finished
+        finally:
+            _stop(server)
+
+        # queued-but-unstarted jobs were journaled and are re-admitted
+        server, client = _start(tmp_path)
+        try:
+            assert server.recovered_jobs == len(queued)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                counters = client.stats()["counters"]
+                if counters["done"] >= len(queued):
+                    break
+                time.sleep(0.05)
+            assert counters["done"] >= len(queued)
+            assert counters["recovered"] == len(queued)
+        finally:
+            _stop(server)
+
+    def test_socket_is_removed_after_drain(self, tmp_path):
+        server, client = _start(tmp_path)
+        client.drain()
+        server.serve_forever()
+        assert not server.socket_path.exists()
+        with pytest.raises(ServeUnavailable):
+            client.ping()
+
+
+class TestSigtermSubprocess:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        state = tmp_path / "state"
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--state-dir", str(state), "--serve-workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            client = ServeClient(state / "serve.sock")
+            assert client.wait_until_up(timeout_s=60.0)
+            assert client.submit("noop", {"value": 5},
+                                 timeout_s=60.0)["state"] == DONE
+            daemon.send_signal(signal.SIGTERM)
+            out, _ = daemon.communicate(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+        assert daemon.returncode == 0
+        assert "drained" in out

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -110,3 +112,32 @@ class TestCli:
         text = target.read_text()
         assert "# Regenerated results" in text
         assert "table2" in text and "figure7" in text
+
+
+class _FakeStdin:
+    """Non-tty stdin whose readline can be scripted to raise."""
+
+    def __init__(self, exc=None):
+        self.exc = exc
+
+    def isatty(self):
+        return False
+
+    def readline(self):
+        if self.exc is not None:
+            raise self.exc
+        return ""  # EOF
+
+
+class TestSessionInterrupt:
+    def test_ctrl_c_exits_130_on_a_fresh_line(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "stdin",
+                            _FakeStdin(KeyboardInterrupt()))
+        assert main(["session", "b11", "0"]) == 130
+        out = capsys.readouterr().out
+        assert out.endswith("\n")  # terminal left on a fresh line
+
+    def test_eof_exits_cleanly_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "stdin", _FakeStdin())
+        assert main(["session", "b11", "0"]) == 0
+        assert "session: b11_die0 loaded" in capsys.readouterr().out

@@ -222,3 +222,51 @@ class TestRunCellCaching:
 
 def _explode(*_args, **_kwargs):
     raise AssertionError("recomputed despite a warm cache")
+
+
+class TestSweepLock:
+    """The startup ``*.tmp`` sweep is guarded by a file lock so two
+    processes starting on one cache dir cannot race the quarantine."""
+
+    def _stale_tmp(self, tmp_path):
+        import os
+
+        shard = tmp_path / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        stale = shard / "orphan789.tmp"
+        stale.write_text("{\"half\":")
+        os.utime(stale, (1_000_000.0, 1_000_000.0))
+        return stale
+
+    def test_contended_lock_skips_sweep_then_next_start_reaps(
+            self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        from repro.runtime.cache import SWEEP_LOCK_NAME
+
+        stale = self._stale_tmp(tmp_path)
+        holder = open(tmp_path / SWEEP_LOCK_NAME, "a+")
+        fcntl.flock(holder, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        try:
+            cache = ResultCache(tmp_path)  # someone else is sweeping
+            assert stale.exists()          # left alone, not raced
+            assert cache.stats.quarantined == 0
+            # the cache itself still works while the sweep is skipped
+            key = "ab" + "7" * 62
+            cache.put(key, {"x": 1})
+            assert cache.get(key) == {"x": 1}
+        finally:
+            fcntl.flock(holder, fcntl.LOCK_UN)
+            holder.close()
+
+        swept = ResultCache(tmp_path)  # lock free again: normal sweep
+        assert not stale.exists()
+        assert (tmp_path / "quarantine" / "orphan789.tmp").exists()
+        assert swept.stats.quarantined == 1
+
+    def test_lock_file_does_not_count_as_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "9" * 62
+        cache.put(key, {"x": 1})
+        # whatever the sweep lock left at the root must not pollute
+        # the entry count (shards only)
+        assert len(cache) == 1

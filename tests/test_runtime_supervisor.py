@@ -274,3 +274,135 @@ class TestOutcomeApi:
         assert CellOutcome(0, RETRIED).ok
         assert not CellOutcome(0, FAILED).ok
         assert not CellOutcome(0, TIMEOUT).ok
+
+
+def _drain_at_two(value):
+    from repro.runtime.supervisor import request_drain
+    if value == 2:
+        request_drain()
+    return value * value
+
+
+def _slow_draw(value):
+    time.sleep(0.4)
+    return (value, round(random.random(), 12))
+
+
+_SIGTERM_SCRIPT = """
+import random
+import sys
+import time
+
+from repro.runtime.supervisor import (SupervisorPolicy,
+                                      install_drain_handlers,
+                                      supervised_map)
+
+
+def cell(value):
+    time.sleep(0.4)
+    return round(random.random(), 12)
+
+
+install_drain_handlers()
+result = supervised_map(cell, range(6), jobs=2, seed=3,
+                        policy=SupervisorPolicy(
+                            checkpoint_dir=sys.argv[1]),
+                        label="sigdrain")
+print("DRAINED" if result.drained else "COMPLETE")
+print(",".join(repr(r) for r in result.results if r is not None))
+"""
+
+
+class TestDrain:
+    def teardown_method(self):
+        from repro.runtime.supervisor import clear_drain
+        clear_drain()
+
+    def test_serial_drain_finishes_current_cell_rest_pending(self):
+        from repro.runtime.supervisor import PENDING
+
+        result = supervised_map(_drain_at_two, range(6), jobs=1)
+        assert result.drained
+        assert [o.status for o in result.outcomes[:3]] == [OK] * 3
+        assert result.results[:3] == [0, 1, 4]
+        assert [o.status for o in result.outcomes[3:]] == [PENDING] * 3
+        assert result.pending == list(result.outcomes[3:])
+        assert not result.failures  # pending is not failure...
+        assert not result.ok        # ...but the sweep is not done either
+
+    def test_stale_drain_flag_is_cleared_per_sweep(self):
+        from repro.runtime.supervisor import request_drain
+
+        request_drain()  # e.g. leaked by an interrupted earlier sweep
+        result = supervised_map(_square, range(4), jobs=1)
+        assert result.ok and not result.drained
+
+    def test_parallel_drain_checkpoints_then_resumes_identically(
+            self, tmp_path):
+        import threading
+
+        from repro.runtime.supervisor import request_drain
+
+        policy = SupervisorPolicy(checkpoint_dir=str(tmp_path / "ckpt"))
+        timer = threading.Timer(0.3, request_drain)
+        timer.start()
+        first = supervised_map(_slow_draw, range(6), jobs=2, seed=7,
+                               policy=policy, label="drainres")
+        timer.cancel()
+        assert first.drained
+        assert first.pending  # drain hit before the sweep finished
+        done_first = {o.index for o in first.outcomes if o.status == OK}
+        assert done_first  # in-flight cells were finished, not killed
+
+        second = supervised_map(_slow_draw, range(6), jobs=2, seed=7,
+                                policy=policy, label="drainres")
+        assert second.ok and not second.drained
+        for outcome in second.outcomes:
+            if outcome.index in done_first:
+                assert outcome.from_checkpoint  # not recomputed
+
+        clean = supervised_map(_slow_draw, range(6), jobs=2, seed=7)
+        assert second.results == clean.results  # byte-identical resume
+
+
+class TestSigtermDrain:
+    def _run(self, checkpoint_dir, interrupt):
+        import signal
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(pathlib.Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [_sys.executable, "-c", _SIGTERM_SCRIPT,
+             str(checkpoint_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            if interrupt:
+                time.sleep(0.8)  # interpreter up, first wave running
+                proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        return proc.returncode, out
+
+    def test_sigterm_mid_batch_checkpoints_and_resumes_identically(
+            self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code, out = self._run(ckpt, interrupt=True)
+        assert code == 0  # graceful: drained, not killed
+        assert "DRAINED" in out
+
+        code, resumed = self._run(ckpt, interrupt=False)
+        assert code == 0
+        assert "COMPLETE" in resumed
+
+        code, clean = self._run(tmp_path / "fresh", interrupt=False)
+        assert code == 0
+        assert resumed.splitlines()[-1] == clean.splitlines()[-1]
