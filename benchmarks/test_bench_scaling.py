@@ -1,0 +1,73 @@
+"""Trimmed scaling-law bench: the CI-tracked slice of ``repro scale``.
+
+Benches the phases of the scaling sweep on two families at the
+10^3-10^4-gate decades (generation, packed simulation, and the full WCM
+flow at the low end), exporting ``BENCH_scaling.json`` through the
+session-finish hook so ``repro bench gate`` tracks regressions. Each
+entry carries the instance's content fingerprint as extra info — the
+gate ignores it, the ``scaling-smoke`` CI job pins it across runs.
+
+The full sweep (10^3-10^6 gates, all families, TSV-density knobs) runs
+via ``repro scale``; see DESIGN.md §14.
+"""
+
+import pytest
+
+from repro.atpg.sim import CompiledCircuit
+from repro.bench.families import (FamilySpec, generate_family_die,
+                                  netlist_fingerprint)
+from repro.core.config import Scenario, WcmConfig
+from repro.core.flow import run_wcm_flow
+from repro.core.problem import build_problem, tight_clock_for
+from repro.dft.scan import stitch_scan_chains
+from repro.dft.testview import build_prebond_test_view
+from repro.place.placer import place_die
+from repro.util.rng import DeterministicRng
+
+SEED = 2019
+CELLS = [("grid", 1000), ("grid", 10000),
+         ("htree", 1000), ("htree", 10000)]
+_WIDTH = 64
+_MASK = (1 << _WIDTH) - 1
+
+
+def _die(family, gates):
+    return generate_family_die(family, FamilySpec.from_density(gates),
+                               seed=SEED)
+
+
+@pytest.mark.parametrize("family,gates", CELLS,
+                         ids=[f"{f}-g{g}" for f, g in CELLS])
+def test_scaling_generate(benchmark, family, gates):
+    netlist = benchmark(_die, family, gates)
+    benchmark.extra_info["gates"] = gates
+    benchmark.extra_info["fingerprint"] = netlist_fingerprint(netlist)
+
+
+@pytest.mark.parametrize("family,gates", CELLS,
+                         ids=[f"{f}-g{g}" for f, g in CELLS])
+def test_scaling_sim(benchmark, family, gates):
+    circuit = CompiledCircuit(build_prebond_test_view(_die(family,
+                                                           gates)))
+    rng = DeterministicRng(SEED).child("scale", "patterns")
+    words = [rng.getrandbits(_WIDTH) for _ in range(circuit.input_count)]
+    values = benchmark(circuit.simulate, words, _MASK)
+    benchmark.extra_info["gates"] = gates
+    benchmark.extra_info["fingerprint"] = f"{sum(values):x}"
+
+
+@pytest.mark.parametrize("family", ["grid", "htree"])
+def test_scaling_flow(benchmark, family):
+    """Full WCM flow at the 10^3 decade only — the flow-capped end."""
+    netlist = _die(family, 1000)
+    place_die(netlist)
+    stitch_scan_chains(netlist)
+    problem = build_problem(netlist, already_prepared=True)
+    problem = problem.retime(tight_clock_for(problem))
+    config = WcmConfig.ours(Scenario.performance_optimized(
+        problem.timing.constraint.period_ps))
+    result = benchmark(run_wcm_flow, problem, config)
+    from repro.core.session import result_fingerprint
+
+    benchmark.extra_info["gates"] = 1000
+    benchmark.extra_info["fingerprint"] = result_fingerprint(result)

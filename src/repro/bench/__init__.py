@@ -20,7 +20,19 @@ from repro.bench.itc99 import (
     profiles_for_circuit,
 )
 from repro.bench.generator import DieGeneratorConfig, generate_die
-from repro.bench.stack import generate_stack
+from repro.bench.families import (
+    CELL_MIXES,
+    FAMILIES,
+    FamilyInstance,
+    FamilyPlan,
+    FamilySpec,
+    generate_family,
+    generate_family_die,
+    netlist_fingerprint,
+    plan_family,
+)
+from repro.bench.stack import (bond_stack, generate_family_stack,
+                               generate_stack)
 
 __all__ = [
     "CIRCUITS",
@@ -32,4 +44,15 @@ __all__ = [
     "DieGeneratorConfig",
     "generate_die",
     "generate_stack",
+    "CELL_MIXES",
+    "FAMILIES",
+    "FamilyInstance",
+    "FamilyPlan",
+    "FamilySpec",
+    "generate_family",
+    "generate_family_die",
+    "netlist_fingerprint",
+    "plan_family",
+    "bond_stack",
+    "generate_family_stack",
 ]

@@ -1,0 +1,697 @@
+"""Parameterized topology families: grid/chain/ring/star/htree/soc dies.
+
+The ITC'99-calibrated generator (:mod:`repro.bench.generator`) produces
+one topology shape. This module adds *families*: the die is still a set
+of layered-DAG clusters, but the inter-cluster wiring follows an
+explicit topology with a closed-form edge set — a 2-D mesh, a pipeline
+chain, a token ring, a hub-and-spoke star, a balanced H-tree, or a
+mixed "soc" blend (a star of heterogeneous blocks). Any instance is
+reproducible from ``(family, spec, seed)``.
+
+Structural contract (pinned by ``tests/test_families.py``):
+
+* cluster counts and inter-cluster edges match the family's closed
+  form (:func:`plan_family`);
+* cross-cluster wires run **only** along topology edges and tap foreign
+  level-0 sources only, so combinational logic stays acyclic and fan-in
+  cones stay modular;
+* every topology edge is realized by at least one wire (clusters keep a
+  queue of unbridged incident edges and burn one input slot per gate on
+  them until the queue drains);
+* gate/FF/TSV counts equal the spec exactly; levels are hard-bounded by
+  ``max_depth``; inbound-TSV fanout never exceeds ``hub_fanout``.
+
+Scalability: unlike the ITC generator there is no 128-bit signature
+redundancy filter — at the 10^6-gate end of ``repro scale`` the filter
+would dominate generation time, and the scaling/differential workloads
+care about structure and determinism, not ATPG-quality logic.
+
+Fan-out statistics are Rent-style configurable: with ``rent_exponent``
+set, the per-slot cross-cluster tap probability is derived from
+``T = t * G^p`` (Rent's rule, G = gates per cluster), so bigger
+clusters expose proportionally fewer external pins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bench.generator import _GATE_MIX, _ClusterPool
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import Netlist, PortKind
+from repro.netlist.library import Library
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRng
+
+#: the supported family names, in canonical order
+FAMILIES: Tuple[str, ...] = ("grid", "chain", "ring", "star", "htree",
+                             "soc")
+
+#: std-cell mix presets: (cell, weight, #data inputs) distributions.
+#: "balanced" is the ITC'99-calibrated histogram; the others skew the
+#: distribution the way synthesis constraints do (area-driven NAND
+#: mapping, datapath XOR logic, control-heavy MUX/AOI logic).
+CELL_MIXES: Dict[str, Tuple[Tuple[str, float, int], ...]] = {
+    "balanced": _GATE_MIX,
+    "nand": (
+        ("NAND2_X1", 40.0, 2), ("NAND3_X1", 14.0, 3),
+        ("NOR2_X1", 16.0, 2), ("INV_X1", 20.0, 1),
+        ("AOI21_X1", 5.0, 3), ("OAI21_X1", 5.0, 3),
+    ),
+    "xor": (
+        ("XOR2_X1", 24.0, 2), ("XNOR2_X1", 12.0, 2),
+        ("NAND2_X1", 16.0, 2), ("AND2_X1", 10.0, 2),
+        ("OR2_X1", 10.0, 2), ("INV_X1", 12.0, 1),
+        ("MUX2_X1", 8.0, 3), ("NOR2_X1", 8.0, 2),
+    ),
+    "mux": (
+        ("MUX2_X1", 26.0, 3), ("AOI21_X1", 14.0, 3),
+        ("OAI21_X1", 14.0, 3), ("NAND2_X1", 14.0, 2),
+        ("NOR2_X1", 10.0, 2), ("INV_X1", 14.0, 1),
+        ("BUF_X1", 8.0, 1),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Size and shape knobs of one family instance (exact counts)."""
+
+    gates: int = 1200
+    ffs: int = 72
+    tsv_in: int = 24
+    tsv_out: int = 24
+    primary_inputs: int = 4
+    primary_outputs: int = 2
+    #: std-cell mix preset name (see :data:`CELL_MIXES`)
+    cell_mix: str = "balanced"
+    #: target gates per cluster (modularity grain)
+    cluster_gates: int = 24
+    #: hard bound on combinational depth
+    max_depth: int = 12
+    #: fan-out caps: ordinary nets, designated hubs, non-hub inbound TSVs
+    max_fanout: int = 8
+    hub_fanout: int = 16
+    tsv_max_fanout: int = 4
+    #: fraction of gates promoted to high-fanout hubs
+    hub_fraction: float = 0.01
+    #: fraction of inbound TSVs promoted to hubs (exceed ``cap_th``)
+    hub_tsv_fraction: float = 0.03
+    #: per-slot probability of a cross-cluster tap along a topology edge
+    p_cross: float = 0.12
+    #: base probability of drawing from the unused-signal queue
+    p_unused: float = 0.50
+    #: probability of drawing a designated hub signal
+    p_hub: float = 0.02
+    #: Rent's-rule exponent: when set, overrides ``p_cross`` with
+    #: ``min(0.5, rent_t * G**(rent_exponent - 1))`` for G gates/cluster
+    rent_exponent: Optional[float] = None
+    rent_t: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.gates < 1:
+            raise ReproError(f"family spec needs >= 1 gate, got "
+                             f"{self.gates}")
+        if self.ffs < 1:
+            raise ReproError(f"family spec needs >= 1 FF, got {self.ffs}")
+        if self.tsv_in < 0 or self.tsv_out < 0:
+            raise ReproError("family spec TSV counts must be >= 0")
+        if self.cell_mix not in CELL_MIXES:
+            raise ReproError(f"unknown cell mix {self.cell_mix!r} "
+                             f"(have {sorted(CELL_MIXES)})")
+        if self.max_fanout < 2 or self.hub_fanout < self.max_fanout:
+            raise ReproError("need max_fanout >= 2 and hub_fanout >= "
+                             "max_fanout")
+
+    @classmethod
+    def from_density(cls, gates: int, ffs_per_kgate: float = 60.0,
+                     tsvs_per_kgate: float = 40.0,
+                     tsv_in_fraction: float = 0.5,
+                     **overrides) -> "FamilySpec":
+        """Derive exact counts from per-kilogate densities.
+
+        Rounding keeps the realized density within one count of the
+        request (pinned by the property suite).
+        """
+        ffs = max(1, round(gates * ffs_per_kgate / 1000.0))
+        tsvs = max(0, round(gates * tsvs_per_kgate / 1000.0))
+        tsv_in = round(tsvs * tsv_in_fraction)
+        return cls(gates=gates, ffs=ffs, tsv_in=tsv_in,
+                   tsv_out=tsvs - tsv_in, **overrides)
+
+    def cross_probability(self, cluster_gates: int) -> float:
+        if self.rent_exponent is None:
+            return self.p_cross
+        g = max(1, cluster_gates)
+        return min(0.5, self.rent_t * g ** (self.rent_exponent - 1.0))
+
+
+@dataclass(frozen=True)
+class FamilyPlan:
+    """Closed-form cluster topology of one family instance."""
+
+    family: str
+    clusters: int
+    #: inter-cluster edges, each ``(a, b)`` with ``a < b``, sorted
+    edges: Tuple[Tuple[int, int], ...]
+    #: family-specific dimensions (rows/cols, depth, block sizes)
+    shape: Tuple[Tuple[str, int], ...] = ()
+
+    def neighbors(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in range(self.clusters)]
+        for a, b in self.edges:
+            out[a].append(b)
+            out[b].append(a)
+        return [sorted(n) for n in out]
+
+
+def plan_family(family: str, clusters: int) -> FamilyPlan:
+    """The topology of *family* over at most *clusters* clusters.
+
+    Families with rigid shapes (grid, htree) round *down* to the
+    nearest realizable count, so the result never exceeds the request —
+    callers size the request by available level-0 sources.
+    """
+    clusters = max(1, clusters)
+    if family == "grid":
+        rows = max(1, math.isqrt(clusters))
+        cols = max(1, clusters // rows)
+        n = rows * cols
+        edges = sorted(
+            [(r * cols + c, r * cols + c + 1)
+             for r in range(rows) for c in range(cols - 1)]
+            + [(r * cols + c, (r + 1) * cols + c)
+               for r in range(rows - 1) for c in range(cols)])
+        return FamilyPlan("grid", n, tuple(edges),
+                          (("cols", cols), ("rows", rows)))
+    if family == "chain":
+        edges = tuple((i, i + 1) for i in range(clusters - 1))
+        return FamilyPlan("chain", clusters, edges,
+                          (("length", clusters),))
+    if family == "ring":
+        if clusters < 3:
+            # Degenerate ring: two clusters collapse onto a single
+            # chain edge (one collapses to an isolated cluster).
+            edges = ((0, 1),) if clusters == 2 else ()
+            return FamilyPlan("ring", clusters, edges,
+                              (("size", clusters),))
+        edges = tuple(sorted([(i, i + 1) for i in range(clusters - 1)]
+                             + [(0, clusters - 1)]))
+        return FamilyPlan("ring", clusters, edges,
+                          (("size", clusters),))
+    if family == "star":
+        edges = tuple((0, i) for i in range(1, clusters))
+        return FamilyPlan("star", clusters, edges,
+                          (("leaves", clusters - 1),))
+    if family == "htree":
+        depth = 0
+        while 2 ** (depth + 2) - 1 <= clusters:
+            depth += 1
+        n = 2 ** (depth + 1) - 1
+        edges = tuple(sorted(
+            (i, child) for i in range(n)
+            for child in (2 * i + 1, 2 * i + 2) if child < n))
+        return FamilyPlan("htree", n, edges, (("depth", depth),))
+    if family == "soc":
+        # A hub cluster (interconnect fabric) fronting three
+        # heterogeneous blocks: a grid (compute array), a chain
+        # (pipeline) and a ring (token bus), split as evenly as the
+        # budget allows.
+        rest = clusters - 1
+        base, extra = divmod(rest, 3)
+        sizes = [base + (1 if i < extra else 0) for i in range(3)]
+        edges: List[Tuple[int, int]] = []
+        shape: List[Tuple[str, int]] = []
+        offset = 1
+        for block_family, size in zip(("grid", "chain", "ring"), sizes):
+            if size <= 0:
+                shape.append((block_family, 0))
+                continue
+            sub = plan_family(block_family, size)
+            edges.extend((a + offset, b + offset) for a, b in sub.edges)
+            edges.append((0, offset))
+            shape.append((block_family, sub.clusters))
+            offset += sub.clusters
+        return FamilyPlan("soc", offset, tuple(sorted(edges)),
+                          tuple(shape))
+    raise ReproError(f"unknown family {family!r} (have {FAMILIES})")
+
+
+@dataclass
+class FamilyInstance:
+    """A generated family die plus the structure it was built from."""
+
+    family: str
+    spec: FamilySpec
+    seed: int
+    netlist: Netlist
+    plan: FamilyPlan
+    #: net name -> owning cluster (sources and gate outputs)
+    cluster_of_net: Dict[str, int] = field(default_factory=dict)
+    #: instance name -> owning cluster (gates and FFs)
+    cluster_of_instance: Dict[str, int] = field(default_factory=dict)
+    #: net name -> assigned level (0 = sources)
+    levels: Dict[str, int] = field(default_factory=dict)
+
+    def realized_edges(self) -> Set[Tuple[int, int]]:
+        """Inter-cluster edges actually carrying at least one wire."""
+        out: Set[Tuple[int, int]] = set()
+        for net in self.netlist.nets.values():
+            src = self.cluster_of_net.get(net.name)
+            if src is None:
+                continue  # clock / scan-stitch nets
+            for sink in net.sinks:
+                if sink.is_port:
+                    continue
+                dst = self.cluster_of_instance.get(sink.owner_name)
+                if dst is not None and dst != src:
+                    out.add((min(src, dst), max(src, dst)))
+        return out
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """Content fingerprint over the full structural payload — the
+    byte-identity surface for family determinism (same payload the ECO
+    session and job server fingerprint)."""
+    from repro.core.session import netlist_payload
+    from repro.util.fingerprint import fingerprint
+
+    return fingerprint(netlist_payload(netlist))
+
+
+class _FamilyGenerator:
+    """Layered-cluster generation over an explicit topology plan."""
+
+    def __init__(self, family: str, spec: FamilySpec, seed: int,
+                 library: Optional[Library], name: Optional[str]) -> None:
+        # Clamp by *non-TSV* sources: every cluster must own at least
+        # one PI or FF-Q signal, so no fallback path is ever forced
+        # onto an over-cap TSV net (the TSV fan-out caps stay hard).
+        non_tsv_sources = spec.primary_inputs + spec.ffs
+        requested = max(1, min(1024,
+                               round(spec.gates / spec.cluster_gates) or 1,
+                               non_tsv_sources))
+        self.plan = plan_family(family, requested)
+        self.family = family
+        self.spec = spec
+        self.seed = seed
+        self.rng = DeterministicRng(seed).child("family", family)
+        self.builder = NetlistBuilder(
+            name or f"{family}_g{spec.gates}_s{seed}", library)
+        n = self.plan.clusters
+        self.neighbors = self.plan.neighbors()
+        self.pools = [_ClusterPool(spec.max_depth) for _ in range(n)]
+        self.use_counts: Dict[str, int] = {}
+        self.unused_set: set = set()
+        self.hub_set: set = set()
+        self.tsv_set: set = set()
+        self.hubs_by_cluster: List[List[str]] = [[] for _ in range(n)]
+        self.cluster_of_net: Dict[str, int] = {}
+        self.cluster_of_instance: Dict[str, int] = {}
+        self.remaining_slots = 0
+        self.clock_net = ""
+        self.ff_q_nets: List[str] = []
+        #: unbridged incident topology edges, per cluster
+        self.pending_edges: List[List[Tuple[int, int]]] = [
+            sorted((min(c, o), max(c, o)) for o in self.neighbors[c])
+            for c in range(n)]
+        self.bridged: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def run(self) -> FamilyInstance:
+        self._deal_sources()
+        self._create_sources()
+        self._create_clouds()
+        self._create_sinks()
+        levels = {}
+        for pool in self.pools:
+            levels.update(pool.levels)
+        return FamilyInstance(
+            family=self.family, spec=self.spec, seed=self.seed,
+            netlist=self.builder.finish(), plan=self.plan,
+            cluster_of_net=self.cluster_of_net,
+            cluster_of_instance=self.cluster_of_instance,
+            levels=levels)
+
+    # ------------------------------------------------------------------
+    def _deal_sources(self) -> None:
+        spec, n = self.spec, self.plan.clusters
+
+        def split(total: int) -> List[int]:
+            base, extra = divmod(total, n)
+            return [base + (1 if i < extra else 0) for i in range(n)]
+
+        # Two-phase shuffled round-robin deal: PIs and FFs first (the
+        # cluster count is clamped so every cluster lands at least one
+        # of these non-TSV sources), TSVs separately from a seeded
+        # offset. A cluster whose only level-0 source is a TSV would
+        # force fallback picks past the TSV fan-out caps.
+        tags = ["pi"] * spec.primary_inputs + ["ff"] * spec.ffs
+        self.rng.child("source_deal").shuffle(tags)
+        per = {"pi": [0] * n, "tsvin": [0] * n, "ff": [0] * n}
+        for index, tag in enumerate(tags):
+            per[tag][index % n] += 1
+        offset = self.rng.child("tsv_deal").randint(0, n - 1) if n > 1 \
+            else 0
+        for index in range(spec.tsv_in):
+            per["tsvin"][(offset + index) % n] += 1
+        self.pis_per_cluster = per["pi"]
+        self.tsvin_per_cluster = per["tsvin"]
+        self.ffs_per_cluster = per["ff"]
+        self.gates_per_cluster = split(spec.gates)
+        self.tsvout_per_cluster = split(spec.tsv_out)
+        self.pos_per_cluster = split(spec.primary_outputs)
+
+    def _register(self, cluster: int, net: str, level: int,
+                  hub: bool = False, is_tsv: bool = False) -> None:
+        self.pools[cluster].add(net, level)
+        self.cluster_of_net[net] = cluster
+        self.use_counts[net] = 0
+        self.unused_set.add(net)
+        if hub:
+            self.hub_set.add(net)
+            self.hubs_by_cluster[cluster].append(net)
+        if is_tsv:
+            self.tsv_set.add(net)
+
+    def _mark_used(self, net: str) -> None:
+        self.use_counts[net] += 1
+        self.unused_set.discard(net)
+
+    def _fanout_ok(self, net: str) -> bool:
+        spec = self.spec
+        if net in self.hub_set:
+            cap = spec.hub_fanout
+        elif net in self.tsv_set:
+            cap = spec.tsv_max_fanout
+        else:
+            cap = spec.max_fanout
+        return self.use_counts[net] < cap
+
+    # ------------------------------------------------------------------
+    def _create_sources(self) -> None:
+        spec, rng = self.spec, self.rng
+        self.clock_net = self.builder.add_clock("clk")
+        hub_count = (max(1, round(spec.tsv_in * spec.hub_tsv_fraction))
+                     if spec.tsv_in else 0)
+        hub_picks = set(rng.sample(range(spec.tsv_in), hub_count)) \
+            if spec.tsv_in else set()
+
+        pi_index = tsv_index = ff_index = 0
+        for cluster in range(self.plan.clusters):
+            for _ in range(self.pis_per_cluster[cluster]):
+                net = self.builder.add_input(f"pi{pi_index}")
+                pi_index += 1
+                self._register(cluster, net, level=0)
+            for _ in range(self.tsvin_per_cluster[cluster]):
+                net = self.builder.add_input(f"tsvin{tsv_index}",
+                                             kind=PortKind.TSV_INBOUND)
+                self._register(cluster, net, level=0,
+                               hub=(tsv_index in hub_picks), is_tsv=True)
+                tsv_index += 1
+            for _ in range(self.ffs_per_cluster[cluster]):
+                net_name = f"ffq{ff_index}"
+                ff_index += 1
+                self.builder.netlist.add_net(net_name)
+                self.ff_q_nets.append(net_name)
+                self._register(cluster, net_name, level=0)
+
+    # ------------------------------------------------------------------
+    def _level_plan(self, cluster: int) -> List[int]:
+        spec = self.spec
+        budget = self.gates_per_cluster[cluster]
+        if budget <= 0:
+            return []
+        low = max(2, spec.max_depth // 2)
+        depth = self.rng.child("depth", cluster).randint(low,
+                                                         spec.max_depth)
+        depth = min(depth, max(1, budget))
+        base, extra = divmod(budget, depth)
+        return [base + (1 if i < extra else 0) for i in range(depth)]
+
+    def _non_tsv(self, bucket: Sequence[str]) -> List[str]:
+        picks = [c for c in bucket if c not in self.tsv_set]
+        return picks or list(bucket)
+
+    def _pick_bridge(self, cluster: int) -> Optional[str]:
+        """A foreign level-0 source across the next unbridged incident
+        edge, or None once the cluster's queue has drained."""
+        pending = self.pending_edges[cluster]
+        while pending:
+            edge = pending[0]
+            if edge in self.bridged:
+                pending.pop(0)
+                continue
+            other = edge[1] if edge[0] == cluster else edge[0]
+            bucket = self.pools[other].by_level[0]
+            if not bucket:
+                pending.pop(0)
+                continue
+            for _attempt in range(6):
+                candidate = self.rng.choice(bucket)
+                if self._fanout_ok(candidate):
+                    break
+            else:
+                # Over-cap: fall back to any non-TSV foreign source
+                # (every cluster owns one by construction).
+                candidate = self.rng.choice(self._non_tsv(bucket))
+            pending.pop(0)
+            self.bridged.add(edge)
+            return candidate
+        return None
+
+    def _pick_level_setter(self, cluster: int, level: int) -> str:
+        pool, rng = self.pools[cluster], self.rng
+        queue = pool.unused_by_level[level - 1]
+        while queue and queue[-1] not in self.unused_set:
+            queue.pop()
+        if queue and rng.random() < 0.8:
+            return queue[-1]
+        candidates = pool.by_level[level - 1]
+        if not candidates:
+            for l in range(level - 1, -1, -1):
+                if pool.by_level[l]:
+                    candidates = pool.by_level[l]
+                    break
+        for _attempt in range(8):
+            candidate = rng.choice(candidates)
+            if self._fanout_ok(candidate):
+                return candidate
+        return rng.choice(self._non_tsv(candidates))
+
+    def _pick_filler(self, cluster: int, level: int,
+                     exclude: List[str], p_cross: float) -> str:
+        spec, rng = self.spec, self.rng
+        pool = self.pools[cluster]
+        pressure = len(self.unused_set) / max(1, self.remaining_slots)
+        p_unused = max(spec.p_unused, min(0.98, 1.4 * pressure))
+        excluded = set(exclude)
+        neighbors = self.neighbors[cluster]
+        hubs = self.hubs_by_cluster[cluster]
+
+        for _attempt in range(8):
+            draw = rng.random()
+            candidate: Optional[str] = None
+            if draw < p_unused:
+                candidate = pool.pop_unused_below(level, self.unused_set)
+            elif hubs and draw < p_unused + spec.p_hub:
+                candidate = rng.choice(hubs)
+            if candidate is None:
+                # Cross-cluster taps follow topology edges only and
+                # read foreign level-0 sources only: modular cones, and
+                # the property suite can assert "no wire crosses a
+                # non-edge".
+                if neighbors and rng.random() < p_cross:
+                    other = rng.choice(neighbors)
+                    bucket = self.pools[other].by_level[0]
+                else:
+                    bucket = pool.by_level[rng.randint(0, level - 1)]
+                if not bucket:
+                    continue
+                candidate = rng.choice(bucket)
+            if candidate in excluded:
+                continue
+            owner = self.pools[self.cluster_of_net[candidate]]
+            if owner.levels[candidate] >= level:
+                continue
+            if candidate in self.tsv_set and not self._fanout_ok(candidate):
+                continue  # TSV caps are hard, never relaxed by retries
+            if not self._fanout_ok(candidate) and _attempt < 6:
+                continue
+            return candidate
+
+        # Fallback: local non-TSV signals below the level, so the TSV
+        # fan-out caps stay hard bounds.
+        for _attempt in range(32):
+            bucket = pool.by_level[rng.randint(0, level - 1)]
+            if not bucket:
+                continue
+            candidate = rng.choice(bucket)
+            if candidate not in excluded and candidate not in self.tsv_set:
+                return candidate
+        bucket0 = [c for c in pool.by_level[0] if c not in self.tsv_set]
+        if bucket0:
+            return rng.choice(bucket0)
+        return exclude[0] if exclude else pool.by_level[0][0]
+
+    def _create_clouds(self) -> None:
+        spec, rng = self.spec, self.rng
+        mix = CELL_MIXES[spec.cell_mix]
+        cells = [g[0] for g in mix]
+        weights = [g[1] for g in mix]
+        arity = {g[0]: g[2] for g in mix}
+
+        gate_cells = rng.choices(cells, weights, k=spec.gates)
+        self.remaining_slots = sum(arity[c] for c in gate_cells)
+        hub_budget = max(1, round(spec.gates * spec.hub_fraction))
+        gate_index = 0
+        for cluster in range(self.plan.clusters):
+            p_cross = spec.cross_probability(
+                self.gates_per_cluster[cluster])
+            for level_minus_1, count in enumerate(self._level_plan(cluster)):
+                level = level_minus_1 + 1
+                for _ in range(count):
+                    cell_name = gate_cells[gate_index]
+                    gate_index += 1
+                    n_inputs = arity[cell_name]
+                    self.remaining_slots -= n_inputs
+                    chosen: List[str] = []
+                    # Bridge requirement first: level-1 gates may spend
+                    # their setter slot on a foreign level-0 source
+                    # (level 0 < 1 keeps the bound), so even one-input
+                    # cells can realize a topology edge.
+                    if level == 1:
+                        bridge = self._pick_bridge(cluster)
+                        if bridge is not None:
+                            chosen.append(bridge)
+                    if not chosen:
+                        chosen.append(self._pick_level_setter(cluster,
+                                                              level))
+                    if len(chosen) < n_inputs:
+                        bridge = self._pick_bridge(cluster)
+                        if bridge is not None and bridge not in chosen:
+                            chosen.append(bridge)
+                    while len(chosen) < n_inputs:
+                        chosen.append(self._pick_filler(cluster, level,
+                                                        chosen, p_cross))
+                    for net in chosen:
+                        self._mark_used(net)
+                    out_net = self.builder.add_gate(cell_name, chosen)
+                    promote = hub_budget > 0 and rng.random() < 0.02
+                    if promote:
+                        hub_budget -= 1
+                    self._register(cluster, out_net, level=level,
+                                   hub=promote)
+                    self.cluster_of_instance[
+                        self.builder.netlist.nets[out_net]
+                        .driver.owner_name] = cluster
+
+    # ------------------------------------------------------------------
+    def _late_signals(self, cluster: int, count: int, taken: set
+                      ) -> List[str]:
+        """Sink sources from *cluster*, deepest-unused first."""
+        pool, rng = self.pools[cluster], self.rng
+        chosen: List[str] = []
+        ff_q_set = set(self.ff_q_nets)
+
+        for level in range(pool.max_depth, 0, -1):
+            if len(chosen) >= count:
+                break
+            for name in pool.unused_by_level[level]:
+                if len(chosen) >= count:
+                    break
+                if name not in self.unused_set:
+                    continue
+                if name in taken or name in ff_q_set:
+                    continue
+                chosen.append(name)
+                taken.add(name)
+
+        attempts = 0
+        while len(chosen) < count and attempts < 50 * count + 100:
+            attempts += 1
+            level = pool.max_depth - int((rng.random() ** 1.5)
+                                         * pool.max_depth)
+            bucket = pool.by_level[min(level, pool.max_depth)]
+            if not bucket:
+                continue
+            candidate = rng.choice(bucket)
+            if candidate in taken or candidate in ff_q_set \
+                    or candidate in self.tsv_set:
+                continue
+            chosen.append(candidate)
+            taken.add(candidate)
+
+        gate_signals = [n for l in range(1, pool.max_depth + 1)
+                        for n in pool.by_level[l]]
+        repeats = gate_signals or [n for n in pool.by_level[0]
+                                   if n not in self.tsv_set] \
+            or pool.by_level[0]
+        while len(chosen) < count:
+            chosen.append(rng.choice(repeats))
+        return chosen
+
+    def _create_sinks(self) -> None:
+        taken: set = set()
+        out_index = ff_index = po_index = 0
+        for cluster in range(self.plan.clusters):
+            for src in self._late_signals(
+                    cluster, self.tsvout_per_cluster[cluster], taken):
+                self._mark_used(src)
+                self.builder.add_output(f"tsvout{out_index}", src,
+                                        kind=PortKind.TSV_OUTBOUND)
+                out_index += 1
+            for src in self._late_signals(
+                    cluster, self.ffs_per_cluster[cluster], taken):
+                self._mark_used(src)
+                inst = self.builder.add_flip_flop(
+                    src, self.clock_net, scan=True, name=f"ff{ff_index}",
+                    q_net=self.ff_q_nets[ff_index])
+                self.cluster_of_instance[inst.name] = cluster
+                ff_index += 1
+            for src in self._late_signals(
+                    cluster, self.pos_per_cluster[cluster], taken):
+                self._mark_used(src)
+                self.builder.add_output(f"po{po_index}", src)
+                po_index += 1
+
+
+def generate_family(family: str, spec: Optional[FamilySpec] = None,
+                    seed: int = 2019, library: Optional[Library] = None,
+                    name: Optional[str] = None) -> FamilyInstance:
+    """Generate one family instance (netlist + plan + cluster maps).
+
+    Fully deterministic: same ``(family, spec, seed)`` -> byte-identical
+    netlist (:func:`netlist_fingerprint`), regardless of
+    ``PYTHONHASHSEED`` or worker-process fan-out.
+    """
+    if family not in FAMILIES:
+        raise ReproError(f"unknown family {family!r} (have {FAMILIES})")
+    generator = _FamilyGenerator(family, spec or FamilySpec(), seed,
+                                 library, name)
+    return generator.run()
+
+
+def generate_family_die(family: str, spec: Optional[FamilySpec] = None,
+                        seed: int = 2019,
+                        library: Optional[Library] = None,
+                        name: Optional[str] = None) -> Netlist:
+    """Just the netlist of :func:`generate_family` (unstitched,
+    unplaced — run placement and scan stitching next, as with
+    :func:`repro.bench.generator.generate_die`)."""
+    return generate_family(family, spec, seed, library, name).netlist
+
+
+def family_die_specs(spec: FamilySpec, dies: int = 4
+                     ) -> List[FamilySpec]:
+    """Per-die spec variants for a homogeneous family stack: the die
+    index only perturbs the TSV split (upper dies trade inbound for
+    outbound), mirroring Table II's unequal per-die totals."""
+    out: List[FamilySpec] = []
+    for index in range(dies):
+        shift = min(index, spec.tsv_in // 2, spec.tsv_out // 2)
+        out.append(replace(spec, tsv_in=spec.tsv_in - shift,
+                           tsv_out=spec.tsv_out + shift))
+    return out

@@ -1,14 +1,16 @@
-"""Whole-stack generation from Table II profiles.
+"""Whole-stack generation from Table II profiles or topology families.
 
-Builds all four dies of a circuit and wires a plausible bonding map:
-each inbound TSV of each die is fed by an outbound TSV of another die
+Builds all dies of a stack and wires a plausible bonding map: each
+inbound TSV of each die is fed by an outbound TSV of another die
 (round-robin over the other dies), and outbound TSVs left over after
 all inbounds are satisfied are external links (bumps to the package or
 to dies outside the reported netlist) — Table II itself has unequal
 inbound/outbound totals, so such externals must exist.
 
 Pre-bond analysis never consults the links; they make the stack
-self-consistent for the post-bond examples.
+self-consistent for the post-bond examples. Family stacks
+(:func:`generate_family_stack`) reuse the same bonding over
+:mod:`repro.bench.families` dies.
 """
 
 from __future__ import annotations
@@ -17,21 +19,17 @@ from typing import Dict, List, Optional
 
 from repro.bench.generator import DieGeneratorConfig, generate_die
 from repro.bench.itc99 import DIES_PER_CIRCUIT, profiles_for_circuit
+from repro.netlist.core import Netlist
 from repro.netlist.library import Library
 from repro.threed.model import Stack3D, TsvLink
 from repro.util.rng import DeterministicRng
 
 
-def generate_stack(circuit: str, seed: int = 2019,
-                   config: Optional[DieGeneratorConfig] = None,
-                   library: Optional[Library] = None) -> Stack3D:
-    """Generate the full 4-die stack of *circuit* with bonded TSV links."""
-    profiles = profiles_for_circuit(circuit)
-    dies = [generate_die(p, seed=seed, config=config, library=library)
-            for p in profiles]
-    rng = DeterministicRng(seed).child("stack", circuit)
+def bond_stack(name: str, dies: List[Netlist], seed: int) -> Stack3D:
+    """Wire *dies* into a validated :class:`Stack3D` with a
+    deterministic round-robin TSV bonding map."""
+    rng = DeterministicRng(seed).child("stack", name)
 
-    # Gather endpoints.
     inbound_by_die: Dict[int, List[str]] = {}
     outbound_by_die: Dict[int, List[str]] = {}
     for index, die in enumerate(dies):
@@ -44,12 +42,12 @@ def generate_stack(circuit: str, seed: int = 2019,
     remaining_out = {d: list(ports) for d, ports in outbound_by_die.items()}
 
     link_index = 0
-    for die_index in range(DIES_PER_CIRCUIT):
+    for die_index in range(len(dies)):
         for in_port in inbound_by_die[die_index]:
             # Pick a source die (any other die with spare outbounds),
             # preferring vertical neighbours.
             preference = sorted(
-                (d for d in range(DIES_PER_CIRCUIT)
+                (d for d in range(len(dies))
                  if d != die_index and remaining_out[d]),
                 key=lambda d: abs(d - die_index),
             )
@@ -58,7 +56,7 @@ def generate_stack(circuit: str, seed: int = 2019,
             source_die = preference[0]
             out_port = remaining_out[source_die].pop()
             links.append(TsvLink(
-                name=f"{circuit}_link{link_index}",
+                name=f"{name}_link{link_index}",
                 source_die=source_die,
                 source_port=out_port,
                 target_die=die_index,
@@ -70,7 +68,7 @@ def generate_stack(circuit: str, seed: int = 2019,
     for die_index, ports in remaining_out.items():
         for out_port in ports:
             links.append(TsvLink(
-                name=f"{circuit}_ext{link_index}",
+                name=f"{name}_ext{link_index}",
                 source_die=die_index,
                 source_port=out_port,
                 target_die=None,
@@ -78,6 +76,40 @@ def generate_stack(circuit: str, seed: int = 2019,
             ))
             link_index += 1
 
-    stack = Stack3D(name=circuit, dies=dies, links=links)
+    stack = Stack3D(name=name, dies=dies, links=links)
     stack.validate_links()
     return stack
+
+
+def generate_stack(circuit: str, seed: int = 2019,
+                   config: Optional[DieGeneratorConfig] = None,
+                   library: Optional[Library] = None) -> Stack3D:
+    """Generate the full 4-die stack of *circuit* with bonded TSV links."""
+    profiles = profiles_for_circuit(circuit)
+    assert len(profiles) == DIES_PER_CIRCUIT
+    dies = [generate_die(p, seed=seed, config=config, library=library)
+            for p in profiles]
+    return bond_stack(circuit, dies, seed)
+
+
+def generate_family_stack(family: str, spec=None, seed: int = 2019,
+                          dies: int = 4,
+                          library: Optional[Library] = None) -> Stack3D:
+    """A homogeneous *dies*-high stack of one topology family.
+
+    Each die derives from the same spec with the TSV split perturbed
+    per die index (see :func:`repro.bench.families.family_die_specs`)
+    and a die-derived seed, then the dies are bonded exactly like the
+    Table II stacks.
+    """
+    from repro.bench.families import (FamilySpec, family_die_specs,
+                                      generate_family_die)
+
+    spec = spec or FamilySpec()
+    die_netlists = [
+        generate_family_die(family, die_spec, seed=seed + index,
+                            library=library,
+                            name=f"{family}_s{seed}_die{index}")
+        for index, die_spec in enumerate(family_die_specs(spec, dies))
+    ]
+    return bond_stack(f"{family}_s{seed}", die_netlists, seed)

@@ -65,6 +65,7 @@ failed cells excluded, 2 when a strict sweep aborted.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -316,6 +317,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     return 0 if report.clean else 1
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Scaling-law sweep: where each kernel's complexity bends."""
+    from repro.bench.scaling import (ScalingCaps, parse_gate_points,
+                                     run_scaling, write_scaling_json)
+    from repro.util.errors import ReproError
+
+    families = [f for f in args.families.split(",") if f]
+    try:
+        gate_points = parse_gate_points(args.gates)
+        densities = [float(d) for d in args.tsv_density.split(",") if d]
+        caps = ScalingCaps()
+        if args.sta_cap is not None:
+            caps = dataclasses.replace(
+                caps, prep=args.sta_cap if args.sta_cap > 0 else None)
+        if args.flow_cap is not None:
+            caps = dataclasses.replace(
+                caps, flow=args.flow_cap if args.flow_cap > 0 else None)
+        report = run_scaling(
+            families, gate_points, densities or (40.0,),
+            seed=getattr(args, "seed", 2019) or 2019,
+            repeat=args.repeat, caps=caps,
+            progress=(print if getattr(args, "verbose", False)
+                      else None))
+    except (ReproError, ValueError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.out != "-":
+        write_scaling_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
 
 
 _SESSION_USAGE = """\
@@ -695,6 +729,38 @@ def main(argv=None) -> int:
                              help="comma-separated mutant names for "
                                   "--self-check (default: all)")
 
+    scale_parser = sub.add_parser(
+        "scale", parents=[common],
+        help="scaling-law sweep over topology families (DESIGN.md §14)")
+    scale_parser.add_argument("--families", default="grid,htree",
+                              metavar="A,B",
+                              help="comma-separated families "
+                                   "(default grid,htree)")
+    scale_parser.add_argument("--gates", default="1e3:1e5",
+                              metavar="LO:HI[:N]",
+                              help="log-spaced gate counts, or a comma "
+                                   "list (default 1e3:1e5)")
+    scale_parser.add_argument("--tsv-density", default="40",
+                              metavar="T[,T]",
+                              help="TSVs per kilogate, comma-separated "
+                                   "(default 40)")
+    scale_parser.add_argument("--repeat", type=int, default=1,
+                              metavar="N",
+                              help="timing repeats per phase (default 1)")
+    scale_parser.add_argument("--sta-cap", type=int, default=None,
+                              metavar="G",
+                              help="skip placement/STA/graph/clique above "
+                                   "G gates (default 200000; 0 disables)")
+    scale_parser.add_argument("--flow-cap", type=int, default=None,
+                              metavar="G",
+                              help="skip full flow/ECO above G gates "
+                                   "(default 20000; 0 disables)")
+    scale_parser.add_argument("--out", default="BENCH_scaling.json",
+                              metavar="PATH",
+                              help="BENCH-compatible timings output "
+                                   "(default BENCH_scaling.json; '-' "
+                                   "skips the file)")
+
     session_parser = sub.add_parser(
         "session", parents=[common],
         help="incremental ECO re-solves on one warm die")
@@ -859,6 +925,8 @@ def main(argv=None) -> int:
             return _cmd_profile(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "scale":
+            return _cmd_scale(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "session":

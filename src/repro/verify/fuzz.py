@@ -32,17 +32,25 @@ MAX_SHRINKS = 5
 
 def spec_for_iteration(root_seed: int, index: int) -> InstanceSpec:
     """The deterministic spec of iteration *index* under *root_seed*."""
+    from repro.bench.families import FAMILIES
+
     rng = DeterministicRng(derive_seed(root_seed, "verify.fuzz", index))
     gates = rng.randint(MIN_GATES, 40)
     ffs = rng.randint(1, 6)
     tsv_in = 0 if rng.random() < 0.10 else rng.randint(1, 6)
     tsv_out = 0 if rng.random() < 0.10 else rng.randint(1, 6)
+    # The family axis: roughly half the stream keeps the ITC'99
+    # generator, the rest spreads evenly over the topology families.
+    family = "itc99" if rng.random() < 0.50 else rng.choice(FAMILIES)
+    fanout_cap = rng.choice([None, None, None, 4, 6])
     return InstanceSpec(
         seed=rng.randint(0, 2**31 - 1),
         gates=gates,
         ffs=ffs,
         tsv_in=tsv_in,
         tsv_out=tsv_out,
+        family=family,
+        fanout_cap=fanout_cap,
         scenario="tight" if rng.random() < 0.70 else "area",
         method="ours" if rng.random() < 0.75 else "agrawal",
         d_th_fraction=rng.choice([None, 0.15, 0.3, 0.5, 0.8]),

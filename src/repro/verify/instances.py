@@ -49,6 +49,12 @@ class InstanceSpec:
     ffs: int = 4
     tsv_in: int = 3
     tsv_out: int = 3
+    #: "itc99" (Table-II-calibrated generator) or a topology family
+    #: from :data:`repro.bench.families.FAMILIES`
+    family: str = "itc99"
+    #: override the generator's ordinary-net fan-out cap (hubs get 2x);
+    #: None keeps the generator defaults
+    fanout_cap: Optional[int] = None
     #: "tight" (performance-optimized, timed) or "area" (untimed)
     scenario: str = "tight"
     #: "ours" or "agrawal"
@@ -74,8 +80,33 @@ class InstanceSpec:
 
     def build_netlist(self) -> Netlist:
         """Generated, placed, scan-stitched die netlist."""
-        netlist = generate_die(self.profile(), seed=self.seed,
-                               config=DieGeneratorConfig())
+        if self.family == "itc99":
+            config = DieGeneratorConfig()
+            if self.fanout_cap is not None:
+                config = dataclasses.replace(
+                    config, max_fanout=self.fanout_cap,
+                    max_hub_fanout=2 * self.fanout_cap,
+                    tsv_max_fanout=min(config.tsv_max_fanout,
+                                       self.fanout_cap))
+            netlist = generate_die(self.profile(), seed=self.seed,
+                                   config=config)
+        else:
+            from repro.bench.families import (FAMILIES, FamilySpec,
+                                              generate_family_die)
+            if self.family not in FAMILIES:
+                raise ReproError(f"unknown family {self.family!r} "
+                                 f"(have ('itc99',) + {FAMILIES})")
+            overrides = {}
+            if self.fanout_cap is not None:
+                overrides = {"max_fanout": self.fanout_cap,
+                             "hub_fanout": 2 * self.fanout_cap,
+                             "tsv_max_fanout": min(4, self.fanout_cap)}
+            fspec = FamilySpec(gates=self.gates, ffs=self.ffs,
+                               tsv_in=self.tsv_in, tsv_out=self.tsv_out,
+                               **overrides)
+            netlist = generate_family_die(self.family, fspec,
+                                          seed=self.seed,
+                                          name=self.profile().name)
         place_die(netlist)
         if self.coincident:
             tsv_ports = [p for p in netlist.ports.values() if p.is_tsv]
@@ -141,9 +172,14 @@ class InstanceSpec:
 
     def slug(self) -> str:
         """Stable file-name stem for a repro of this spec."""
-        parts = [f"s{self.seed}", f"g{self.gates}", f"f{self.ffs}",
-                 f"ti{self.tsv_in}", f"to{self.tsv_out}",
-                 self.scenario, self.method]
+        parts = [f"s{self.seed}"]
+        if self.family != "itc99":
+            parts.append(self.family)
+        parts += [f"g{self.gates}", f"f{self.ffs}",
+                  f"ti{self.tsv_in}", f"to{self.tsv_out}",
+                  self.scenario, self.method]
+        if self.fanout_cap is not None:
+            parts.append(f"fo{self.fanout_cap}")
         if self.d_th_fraction is not None:
             parts.append(f"d{self.d_th_fraction}".replace(".", "p"))
         if self.d_th_boundary:

@@ -32,6 +32,12 @@ def _candidates(spec: InstanceSpec) -> List[InstanceSpec]:
         if candidate != spec:
             out.append(candidate)
 
+    # Family first: a divergence that survives on the simplest topology
+    # (a plain cluster chain) is a far better repro than one entangled
+    # with a star hub or the ITC'99 generator's redundancy filter, so
+    # the topology axis shrinks before any numeric knob.
+    if spec.family != "chain":
+        emit(family="chain")
     emit(gates=_halve(spec.gates, MIN_GATES))
     emit(ffs=_halve(spec.ffs, MIN_FFS))
     emit(tsv_in=spec.tsv_in // 2)
@@ -40,6 +46,8 @@ def _candidates(spec: InstanceSpec) -> List[InstanceSpec]:
     emit(ffs=max(MIN_FFS, spec.ffs - 1))
     emit(tsv_in=max(0, spec.tsv_in - 1))
     emit(tsv_out=max(0, spec.tsv_out - 1))
+    if spec.fanout_cap is not None:
+        emit(fanout_cap=None)
     if spec.coincident:
         emit(coincident=False)
     if spec.d_th_boundary:

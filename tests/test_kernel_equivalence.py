@@ -191,6 +191,56 @@ def test_grid_sweep_matches_brute_force(timed_problem, kind, d_th_fraction):
     assert grid.excluded_tsvs == brute.excluded_tsvs
 
 
+# ---------------------------------------------------------------------------
+# Cross-backend byte-identity on every topology family
+# ---------------------------------------------------------------------------
+def _family_solve_fp(spec):
+    """(result fingerprint, stable counters, manifest fingerprint) of a
+    full WCM solve of *spec* under the currently configured backend —
+    the same identity surface the eco differential check pins."""
+    from repro.core.flow import run_wcm_flow
+    from repro.core.session import result_fingerprint
+    from repro.runtime import instrument
+    from repro.runtime.trace import manifest_fingerprint
+    from repro.verify.checks import _ECO_VOLATILE_COUNTERS
+
+    problem = spec.build_problem()
+    config = spec.build_config(problem)
+    with instrument.collect() as report:
+        result = run_wcm_flow(problem, config)
+    result_fp = result_fingerprint(result)
+    counters = {name: value for name, value in sorted(
+                    report.counters.items())
+                if not name.startswith(_ECO_VOLATILE_COUNTERS)}
+    manifest_fp = manifest_fingerprint({
+        "schema": "eco", "label": f"family:{spec.family}",
+        "config": None, "seed": None, "scale": None,
+        "metrics": counters, "result_fingerprint": result_fp,
+    })
+    return result_fp, counters, manifest_fp
+
+
+@pytest.mark.parametrize("family", ["grid", "chain", "ring", "star",
+                                    "htree", "soc"])
+def test_families_byte_identical_across_backends(kernel_backend, family):
+    """python and numpy backends produce byte-identical results,
+    rejection stats and manifest fingerprints on every family."""
+    if kernel_backend != "python":
+        pytest.skip("cross-backend pair runs once, from the python leg")
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    from repro.verify.instances import InstanceSpec
+
+    spec = InstanceSpec(seed=9, family=family, gates=28, ffs=3,
+                        tsv_in=3, tsv_out=3)
+    configure(backend="python")
+    python_fp = _family_solve_fp(spec)
+    configure(backend="numpy")
+    numpy_fp = _family_solve_fp(spec)
+    configure(backend="python")
+    assert python_fp == numpy_fp
+
+
 def test_grid_sweep_zero_threshold_rejects_all_pairs(timed_problem):
     period = timed_problem.timing.constraint.period_ps
     config = dataclasses.replace(

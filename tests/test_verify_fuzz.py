@@ -103,6 +103,45 @@ def test_shrink_converges_on_persistent_failure(monkeypatch):
     assert small.method == "ours"
 
 
+def test_shrink_family_before_numeric_fields(monkeypatch):
+    """The topology axis shrinks first: the very first candidate of a
+    non-chain spec is the same spec on the chain family, and a
+    persistent failure converges onto chain before the numeric knobs
+    reach their floors."""
+    shrink_module = importlib.import_module("repro.verify.shrink")
+    from repro.verify.shrink import _candidates
+
+    big = InstanceSpec(seed=1, family="htree", gates=40, ffs=6,
+                       tsv_in=6, tsv_out=6, fanout_cap=4)
+    first = _candidates(big)[0]
+    assert first.family == "chain"
+    assert (first.gates, first.ffs, first.tsv_in, first.tsv_out) \
+        == (big.gates, big.ffs, big.tsv_in, big.tsv_out)
+
+    calls = []
+
+    def always_fails(spec, names=None):
+        calls.append(spec)
+        return ["always: fails"]
+
+    monkeypatch.setattr(shrink_module, "run_checks", always_fails)
+    small = shrink_module.shrink(big, ["sim"])
+    assert small.family == "chain"
+    assert small.fanout_cap is None
+    assert small.gates < big.gates
+    # The family cut happened on the first candidate build, not after
+    # the numeric ladder.
+    assert calls[0].family == "chain"
+
+
+def test_shrink_keeps_chain_family_stable(monkeypatch):
+    """A chain spec emits no family candidate (nothing to shrink to)."""
+    from repro.verify.shrink import _candidates
+
+    spec = InstanceSpec(seed=1, family="chain", gates=40)
+    assert all(c.family == "chain" for c in _candidates(spec))
+
+
 def test_shrink_returns_original_when_failure_vanishes(monkeypatch):
     shrink_module = importlib.import_module("repro.verify.shrink")
 

@@ -34,6 +34,15 @@ def test_corpus_covers_degenerate_corners():
     assert any(s.d_th_boundary for s in specs), "no d_th-boundary repro"
     assert any(s.scenario == "area" for s in specs), "no area repro"
     assert any(s.method == "agrawal" for s in specs), "no agrawal repro"
+    # Topology-family corners (promoted alongside the family axis).
+    assert any(s.family == "star" and s.tsv_in == 0 and s.tsv_out == 0
+               for s in specs), "no zero-TSV star repro"
+    assert any(s.family == "htree" and s.fanout_cap is not None
+               for s in specs), "no fanout-capped htree repro"
+    assert any(s.family == "grid" and s.d_th_boundary
+               for s in specs), "no d_th-boundary grid repro"
+    assert any(s.family == "ring" for s in specs), \
+        "no degenerate-ring repro"
 
 
 @pytest.mark.parametrize("backend", ["python", "numpy"])
