@@ -56,7 +56,9 @@ def pytest_sessionfinish(session, exitstatus):
     for module, filename in (("test_bench_kernels", "BENCH_kernels.json"),
                              ("test_bench_eco", "BENCH_eco.json"),
                              ("test_bench_serve", "BENCH_serve.json"),
-                             ("test_bench_scaling", "BENCH_scaling.json")):
+                             ("test_bench_scaling", "BENCH_scaling.json"),
+                             ("test_bench_schedule",
+                              "BENCH_schedule.json")):
         timings = {}
         for bench in bench_session.benchmarks:
             if module not in (bench.fullname or ""):

@@ -15,6 +15,12 @@ Commands:
   brute-force oracles (``--budget N`` / ``--seconds S``; ``--self-check``
   runs the mutation-kill harness; ``--repro-dir`` promotes shrunk
   failures to JSON repros),
+* ``schedule`` — wrapper/TAM co-optimization: balance each die's
+  reduced wrapper cells and scan chains into wrapper chains, pack one
+  (width, time) rectangle per die into the stack's TAM budget, and
+  print the ours-vs-Agrawal pre-bond test-time table (``--tam`` lanes,
+  ``--width`` per-die reference width, ``--fixed-patterns N`` to skip
+  ATPG, ``--families A,B`` for the topology stacks),
 * ``session <circuit> <die>`` — incremental ECO re-solves: load the die
   once, then apply ``move-ff``/``move-tsv``/``add-tsv``/``remove-tsv``/
   ``set`` edits and ``solve`` from a script (``--script``) or
@@ -350,6 +356,41 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         write_scaling_json(report, args.out)
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    """Wrapper/TAM co-optimization table (DESIGN.md §15)."""
+    from repro.experiments.common import DEFAULT_SEED, driver_manifest
+    from repro.runtime import trace
+    from repro.schedule import run_schedule
+
+    scale = resolve_scale(getattr(args, "scale", None))
+    print(scale_banner(scale))
+    seed = getattr(args, "seed", None)
+    seed = DEFAULT_SEED if seed is None else seed
+    families = tuple(f for f in args.families.split(",") if f)
+    started = time.perf_counter()
+    try:
+        result = run_schedule(
+            scale, seed=seed, verbose=getattr(args, "verbose", False),
+            budget=args.tam, ref_width=args.width,
+            fixed_patterns=args.fixed_patterns, families=families)
+    except ConfigError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(f"[schedule regenerated in "
+          f"{time.perf_counter() - started:.1f}s]")
+    tracer = trace.active()
+    if tracer is not None:
+        payload = driver_manifest("schedule", result, scale, seed)
+        path = trace.write_manifest(
+            tracer.trace_dir / "manifest-schedule.json", payload)
+        print(f"[manifest {payload['fingerprint'][:12]} -> {path}]")
+    if result.failures:
+        print(f"{len(result.failures)} cell(s) failed; table rendered "
+              f"without them", file=sys.stderr)
+    return 1 if result.failures else 0
 
 
 _SESSION_USAGE = """\
@@ -761,6 +802,28 @@ def main(argv=None) -> int:
                                    "(default BENCH_scaling.json; '-' "
                                    "skips the file)")
 
+    schedule_parser = sub.add_parser(
+        "schedule", parents=[common],
+        help="wrapper/TAM co-optimization and pre-bond session "
+             "scheduling (DESIGN.md §15)")
+    schedule_parser.add_argument("--tam", type=int, default=8,
+                                 metavar="W",
+                                 help="stack TAM budget in lanes "
+                                      "(default 8)")
+    schedule_parser.add_argument("--width", type=int, default=2,
+                                 metavar="W",
+                                 help="per-die reference width for the "
+                                      "test-time columns (default 2)")
+    schedule_parser.add_argument("--fixed-patterns", type=int,
+                                 default=None, metavar="N",
+                                 help="pattern-count override (default: "
+                                      "run stuck-at ATPG per die)")
+    schedule_parser.add_argument("--families", default="grid,htree",
+                                 metavar="A,B",
+                                 help="topology-family stacks to "
+                                      "schedule (default grid,htree; "
+                                      "'' skips them)")
+
     session_parser = sub.add_parser(
         "session", parents=[common],
         help="incremental ECO re-solves on one warm die")
@@ -929,6 +992,8 @@ def main(argv=None) -> int:
             return _cmd_scale(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "schedule":
+            return _cmd_schedule(args)
         if args.command == "session":
             return _cmd_session(args)
         if args.command == "serve":

@@ -1,0 +1,60 @@
+"""Wrapper/TAM co-optimization and pre-bond test scheduling (DESIGN.md
+§15).
+
+Downstream of the WCM flow: turn each die's wrapper-cell count plus
+its internal scan chains into balanced wrapper chains per TAM width
+(:mod:`repro.schedule.chains`), pack one (width, time) rectangle per
+die into the stack's TAM budget (:mod:`repro.schedule.pack`), verify
+both against exhaustive oracles (:mod:`repro.schedule.oracle`), and
+measure ours-vs-Agrawal test time over the benchmarks and topology
+families (:mod:`repro.schedule.experiment`, ``repro schedule``).
+"""
+
+from repro.schedule.chains import (
+    DieTestModel,
+    WidthTimePoint,
+    WrapperChainPlan,
+    balanced_chain_lengths,
+    chain_test_time,
+    design_wrapper,
+    internal_chain_count,
+    pareto_points,
+    staircase,
+    staircase_fingerprint,
+)
+from repro.schedule.experiment import ScheduleResult, run_schedule
+from repro.schedule.oracle import (
+    exact_schedule,
+    exact_wrapper_max_length,
+    waterfill_max,
+)
+from repro.schedule.pack import (
+    Placement,
+    Schedule,
+    best_fit_schedule,
+    candidate_points,
+    schedule_violations,
+)
+
+__all__ = [
+    "DieTestModel",
+    "Placement",
+    "Schedule",
+    "ScheduleResult",
+    "WidthTimePoint",
+    "WrapperChainPlan",
+    "balanced_chain_lengths",
+    "best_fit_schedule",
+    "candidate_points",
+    "chain_test_time",
+    "design_wrapper",
+    "exact_schedule",
+    "exact_wrapper_max_length",
+    "internal_chain_count",
+    "pareto_points",
+    "run_schedule",
+    "schedule_violations",
+    "staircase",
+    "staircase_fingerprint",
+    "waterfill_max",
+]

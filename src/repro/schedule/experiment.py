@@ -1,0 +1,363 @@
+"""The ``repro schedule`` experiment: ours-vs-Agrawal test time.
+
+The paper's payoff chain, measured end to end: fewer additional
+wrapper cells (the WCM win, area scenario) -> shorter wrapper scan
+chains at every TAM width -> shorter per-die test time -> shorter
+pre-bond session makespan for the whole stack. Three methods per die:
+
+* ``dedicated`` — the pre-reuse baseline [1], [2], [13]: one wrapper
+  cell per TSV,
+* ``agrawal``   — reuse per [4],
+* ``ours``      — the paper's timing-aware reduction.
+
+Patterns come from real stuck-at ATPG on the wrapped die by default
+(both methods are compared at the SAME pattern count — the max of the
+two — so every delta is chain length, not coverage accounting);
+``fixed_patterns`` pins them instead for cheap deterministic runs.
+Benchmark dies ride through the cached ``run_cell`` machinery and the
+supervised sweep like every other table; PR 9 topology families are
+scheduled as small fixed-pattern stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentScale,
+    MethodSpec,
+    dies_for_scale,
+    render_failures,
+    resolve_scale,
+    run_cell,
+    scale_banner,
+    sweep_cells,
+    traced_experiment,
+)
+from repro.schedule.chains import (
+    DieTestModel,
+    balanced_chain_lengths,
+    internal_chain_count,
+    staircase,
+)
+from repro.schedule.pack import Schedule, best_fit_schedule
+from repro.util.errors import ConfigError
+from repro.util.tables import AsciiTable
+
+#: stack-level TAM budget (lanes) and the per-die reference width the
+#: per-die table reports test times at
+DEFAULT_TAM_BUDGET = 8
+DEFAULT_REF_WIDTH = 2
+
+#: methods in baseline -> best order (render + packing order)
+METHODS = ("dedicated", "agrawal", "ours")
+
+#: topology-family section: small fixed-pattern stacks
+FAMILY_NAMES = ("grid", "htree")
+FAMILY_DIES = 3
+FAMILY_PATTERNS = 48
+_FAMILY_GATES = 360
+_FAMILY_FFS = 24
+_FAMILY_TSV = 12
+
+
+@dataclass
+class ScheduleCell:
+    """One die's scheduling inputs, all three methods."""
+
+    patterns: int
+    #: method -> DieTestModel (internal chains + wrapper cells)
+    models: Dict[str, DieTestModel]
+    #: method -> reused scan FF count (context column)
+    reused: Dict[str, int]
+
+    def time_at(self, method: str, width: int) -> int:
+        return staircase(self.models[method], width)[-1].time
+
+
+@dataclass
+class ScheduleResult:
+    scale_name: str
+    budget: int = DEFAULT_TAM_BUDGET
+    ref_width: int = DEFAULT_REF_WIDTH
+    #: "atpg" or "fixed:N"
+    patterns_mode: str = "atpg"
+    #: (circuit, die) -> cell
+    cells: Dict[Tuple[str, int], ScheduleCell] = field(default_factory=dict)
+    #: (family, die_index) -> cell
+    family_cells: Dict[Tuple[str, int], ScheduleCell] = field(
+        default_factory=dict)
+    failures: Dict[object, str] = field(default_factory=dict)
+
+    # -- aggregates ------------------------------------------------------
+    def stack_schedule(self, cells: Dict[Tuple[str, int], ScheduleCell],
+                       group: str, method: str) -> Optional[Schedule]:
+        models = [cell.models[method]
+                  for (name, _die), cell in sorted(cells.items())
+                  if name == group]
+        if not models:
+            return None
+        return best_fit_schedule(models, self.budget)
+
+    def _groups(self, cells: Dict[Tuple[str, int], ScheduleCell]
+                ) -> List[str]:
+        return sorted({name for name, _die in cells})
+
+    def die_wins(self) -> Tuple[int, int, int]:
+        """(ours <= agrawal, strict wins, total) over benchmark dies."""
+        total = len(self.cells)
+        leq = strict = 0
+        for cell in self.cells.values():
+            ours = cell.time_at("ours", self.ref_width)
+            agrawal = cell.time_at("agrawal", self.ref_width)
+            if ours <= agrawal:
+                leq += 1
+            if ours < agrawal:
+                strict += 1
+        return leq, strict, total
+
+    # -- rendering -------------------------------------------------------
+    def _die_table(self, title: str,
+                   cells: Dict[Tuple[str, int], ScheduleCell]) -> str:
+        table = AsciiTable(
+            ["die", "patt", "cells D", "cells A", "cells O",
+             f"T_D(w{self.ref_width})", f"T_A(w{self.ref_width})",
+             f"T_O(w{self.ref_width})", "O vs A"],
+            title=title)
+        times: Dict[str, List[int]] = {m: [] for m in METHODS}
+        for key, cell in sorted(cells.items()):
+            row_times = {m: cell.time_at(m, self.ref_width)
+                         for m in METHODS}
+            for method in METHODS:
+                times[method].append(row_times[method])
+            delta = row_times["agrawal"] - row_times["ours"]
+            pct = (100.0 * delta / row_times["agrawal"]
+                   if row_times["agrawal"] else 0.0)
+            table.add_row([
+                f"{key[0]}_d{key[1]}", cell.patterns,
+                cell.models["dedicated"].wrapper_cells,
+                cell.models["agrawal"].wrapper_cells,
+                cell.models["ours"].wrapper_cells,
+                row_times["dedicated"], row_times["agrawal"],
+                row_times["ours"], f"-{pct:.1f}%",
+            ])
+        if times["agrawal"]:
+            table.add_separator()
+            means = {m: sum(v) / len(v) for m, v in times.items()}
+            pct = (100.0 * (means["agrawal"] - means["ours"])
+                   / means["agrawal"] if means["agrawal"] else 0.0)
+            table.add_row([
+                "Average", "",
+                "", "", "",
+                f"{means['dedicated']:.1f}", f"{means['agrawal']:.1f}",
+                f"{means['ours']:.1f}", f"-{pct:.1f}%",
+            ])
+        return table.render()
+
+    def _stack_table(self, title: str,
+                     cells: Dict[Tuple[str, int], ScheduleCell]) -> str:
+        table = AsciiTable(
+            ["stack", "dies", "makespan D", "makespan A", "makespan O",
+             "O vs A", "util O"],
+            title=title)
+        for group in self._groups(cells):
+            spans = {}
+            for method in METHODS:
+                schedule = self.stack_schedule(cells, group, method)
+                spans[method] = schedule
+            ours = spans["ours"]
+            agrawal = spans["agrawal"]
+            if ours is None or agrawal is None:
+                continue
+            delta = agrawal.makespan - ours.makespan
+            pct = (100.0 * delta / agrawal.makespan
+                   if agrawal.makespan else 0.0)
+            table.add_row([
+                group,
+                len(ours.placements),
+                spans["dedicated"].makespan, agrawal.makespan,
+                ours.makespan, f"-{pct:.1f}%",
+                f"{100.0 * ours.utilization:.0f}%",
+            ])
+        return table.render()
+
+    def render(self) -> str:
+        lines = [
+            f"Pre-bond test scheduling — TAM budget {self.budget} "
+            f"lanes, per-die reference width {self.ref_width}, "
+            f"patterns {self.patterns_mode} (scale={self.scale_name})",
+            "",
+        ]
+        if self.cells:
+            lines.append(self._die_table(
+                "Per-die test time (cycles): dedicated [1] / "
+                "Agrawal [4] / ours", self.cells))
+            leq, strict, total = self.die_wins()
+            lines.append(f"ours <= Agrawal on {leq}/{total} dies "
+                         f"({strict} strictly shorter)")
+            lines.append("")
+            lines.append(self._stack_table(
+                "Stack pre-bond session makespan (cycles)", self.cells))
+        if self.family_cells:
+            lines.append("")
+            lines.append(self._die_table(
+                f"Topology families ({FAMILY_DIES}-die stacks, "
+                f"{FAMILY_PATTERNS} fixed patterns)", self.family_cells))
+            lines.append("")
+            lines.append(self._stack_table(
+                "Family stack makespan (cycles)", self.family_cells))
+        if self.failures:
+            lines += ["", render_failures(self.failures, label=str)]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Sweep cells (run in worker processes)
+# ---------------------------------------------------------------------------
+def _models_from_counts(name: str, internal: Tuple[int, ...],
+                        counts: Dict[str, int], patterns: int
+                        ) -> Dict[str, DieTestModel]:
+    return {method: DieTestModel(name=name, internal_chains=internal,
+                                 wrapper_cells=cells, patterns=patterns)
+            for method, cells in counts.items()}
+
+
+def _bench_cell(circuit: str, die_index: int, seed: int,
+                scale: ExperimentScale,
+                fixed_patterns: Optional[int]) -> ScheduleCell:
+    """One benchmark die: both WCM flows (area scenario), stuck-at
+    ATPG for the pattern count unless pinned, then the three models."""
+    from repro.bench.itc99 import die_profile
+
+    summaries = {}
+    pattern_counts = {}
+    for method in ("agrawal", "ours"):
+        spec = MethodSpec(method, "area")
+        summary, report = run_cell(
+            circuit, die_index, seed, scale, spec,
+            with_atpg=fixed_patterns is None, include_transition=False)
+        summaries[method] = summary
+        if fixed_patterns is None:
+            pattern_counts[method] = report.stuck_at.pattern_count
+    patterns = (fixed_patterns if fixed_patterns is not None
+                else max(pattern_counts.values()))
+    profile = die_profile(circuit, die_index)
+    internal = balanced_chain_lengths(
+        profile.scan_flip_flops,
+        internal_chain_count(profile.scan_flip_flops))
+    counts = {
+        "dedicated": summaries["ours"].plan.wrapped_tsv_count,
+        "agrawal": summaries["agrawal"].additional,
+        "ours": summaries["ours"].additional,
+    }
+    return ScheduleCell(
+        patterns=patterns,
+        models=_models_from_counts(profile.name, internal, counts,
+                                   patterns),
+        reused={m: summaries[m].reused for m in ("agrawal", "ours")},
+    )
+
+
+def _family_cell(family: str, die_index: int, seed: int) -> ScheduleCell:
+    """One topology-family die: generate, place, stitch, run both
+    flows cold (area scenario), fixed pattern count."""
+    from repro.bench.families import (FamilySpec, family_die_specs,
+                                      generate_family_die)
+    from repro.core.config import Scenario, WcmConfig
+    from repro.core.flow import run_wcm_flow
+    from repro.core.problem import build_problem
+    from repro.dft.scan import stitch_scan_chains
+    from repro.place.placer import place_die
+
+    base = FamilySpec(gates=_FAMILY_GATES, ffs=_FAMILY_FFS,
+                      tsv_in=_FAMILY_TSV, tsv_out=_FAMILY_TSV)
+    spec = family_die_specs(base, FAMILY_DIES)[die_index]
+    name = f"{family}_d{die_index}"
+    netlist = generate_family_die(family, spec, seed=seed + die_index,
+                                  name=name)
+    place_die(netlist)
+    stitch_scan_chains(netlist)
+    problem = build_problem(netlist, already_prepared=True)
+    scenario = Scenario.area_optimized()
+    counts: Dict[str, int] = {}
+    reused: Dict[str, int] = {}
+    for method, config in (("agrawal", WcmConfig.agrawal(scenario)),
+                           ("ours", WcmConfig.ours(scenario))):
+        run = run_wcm_flow(problem, config)
+        counts[method] = run.additional_wrapper_cells
+        reused[method] = run.reused_scan_ffs
+        counts.setdefault("dedicated", run.plan.wrapped_tsv_count)
+    internal = balanced_chain_lengths(spec.ffs,
+                                      internal_chain_count(spec.ffs))
+    return ScheduleCell(
+        patterns=FAMILY_PATTERNS,
+        models=_models_from_counts(name, internal, counts,
+                                   FAMILY_PATTERNS),
+        reused=reused,
+    )
+
+
+def _schedule_cell(args: tuple) -> ScheduleCell:
+    """Sweep dispatcher (module-level for worker processes)."""
+    tag = args[0]
+    if tag == "bench":
+        _tag, circuit, die_index, seed, scale, fixed = args
+        return _bench_cell(circuit, die_index, seed, scale, fixed)
+    if tag == "family":
+        _tag, family, die_index, seed = args
+        return _family_cell(family, die_index, seed)
+    raise ConfigError(f"unknown schedule cell tag {tag!r}")
+
+
+@traced_experiment("schedule")
+def run_schedule(scale: Optional[ExperimentScale] = None,
+                 seed: int = DEFAULT_SEED, verbose: bool = False,
+                 jobs: Optional[int] = None,
+                 budget: int = DEFAULT_TAM_BUDGET,
+                 ref_width: int = DEFAULT_REF_WIDTH,
+                 fixed_patterns: Optional[int] = None,
+                 families: Tuple[str, ...] = FAMILY_NAMES,
+                 circuits: Optional[Tuple[str, ...]] = None
+                 ) -> ScheduleResult:
+    """Wrapper/TAM co-optimization table over the in-scale dies plus
+    the topology-family stacks."""
+    if budget < 1 or ref_width < 1:
+        raise ConfigError(f"budget/ref_width must be >= 1, got "
+                          f"{budget}/{ref_width}")
+    if ref_width > budget:
+        raise ConfigError(f"per-die reference width {ref_width} exceeds "
+                          f"the TAM budget {budget}")
+    scale = scale or resolve_scale()
+    result = ScheduleResult(
+        scale_name=scale.name, budget=budget, ref_width=ref_width,
+        patterns_mode=("atpg" if fixed_patterns is None
+                       else f"fixed:{fixed_patterns}"))
+    keys: List[tuple] = []
+    cells: List[tuple] = []
+    for circuit, die_index in dies_for_scale(scale, circuits):
+        keys.append(("bench", circuit, die_index))
+        cells.append(("bench", circuit, die_index, seed, scale,
+                      fixed_patterns))
+    for family in families:
+        for die_index in range(FAMILY_DIES):
+            keys.append(("family", family, die_index))
+            cells.append(("family", family, die_index, seed))
+    ok, result.failures = sweep_cells(_schedule_cell, keys, cells,
+                                      jobs=jobs, seed=seed,
+                                      label="schedule")
+    for key, cell in ok.items():
+        if key[0] == "bench":
+            result.cells[(key[1], key[2])] = cell
+        else:
+            result.family_cells[(key[1], key[2])] = cell
+        if verbose:
+            ours = cell.time_at("ours", ref_width)
+            agrawal = cell.time_at("agrawal", ref_width)
+            print(f"  {key[1]}_d{key[2]}: T_ours={ours} "
+                  f"T_agrawal={agrawal} patterns={cell.patterns}")
+    if verbose:
+        print(scale_banner(scale))
+        print(result.render())
+    return result

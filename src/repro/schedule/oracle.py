@@ -1,0 +1,183 @@
+"""Brute-force scheduling oracles (small instances only).
+
+Two exhaustive references, in the spirit of ``repro.verify.oracles``:
+
+* :func:`exact_wrapper_max_length` — the true optimal longest wrapper
+  chain at one width, by enumerating every internal-chain-to-chain
+  assignment (with identical-bin symmetry breaking) and water-filling
+  the unit wrapper cells optimally on top (closed form). The greedy
+  designer must land within Graham's LPT bound of this.
+* :func:`exact_schedule` — the true minimum-makespan session, by
+  branch-and-bound over (staircase corner, lane offset, start time)
+  per die. Placements are enumerated in non-decreasing start order and
+  every start must be 0 or touch a placed rectangle's finish on an
+  overlapping lane — the standard left-shift normalization, which
+  loses no optimal packing. The best-fit heuristic seeds the incumbent
+  (so the oracle is never worse than it) and an area lower bound plus
+  equal-start symmetry breaking keep <= 6-die stacks tractable.
+
+Both raise :class:`~repro.util.errors.ReproError` past their node
+guards instead of silently degrading — oracles must be exact or
+absent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.schedule.chains import DieTestModel
+from repro.schedule.pack import (
+    Placement,
+    Schedule,
+    best_fit_schedule,
+    candidate_points,
+)
+from repro.util.errors import ConfigError, ReproError
+
+#: default search guards — generous for the corpus sizes the tests use
+MAX_DESIGN_NODES = 200_000
+MAX_PACK_NODES = 2_000_000
+#: the exhaustive scheduler is for small stacks only
+MAX_ORACLE_DIES = 8
+
+
+def waterfill_max(levels: Sequence[int], units: int, width: int) -> int:
+    """Minimal achievable max load after adding *units* unit jobs to
+    bins with base loads *levels* (len <= width; missing bins are
+    empty). Closed form: fill every bin up to the current max first,
+    then spread the remainder evenly."""
+    if width < 1:
+        raise ConfigError(f"width must be >= 1, got {width}")
+    if units < 0:
+        raise ConfigError(f"negative unit count {units}")
+    base = list(levels) + [0] * (width - len(levels))
+    top = max(base) if base else 0
+    capacity = sum(top - level for level in base)
+    if units <= capacity:
+        return top
+    return top + -(-(units - capacity) // width)
+
+
+def exact_wrapper_max_length(model: DieTestModel, width: int,
+                             max_nodes: int = MAX_DESIGN_NODES) -> int:
+    """The optimal longest wrapper chain for *model* at *width*."""
+    if width < 1:
+        raise ConfigError(f"TAM width must be >= 1, got {width}")
+    chains = sorted(model.internal_chains, reverse=True)
+    units = model.wrapper_cells
+    if width == 1:
+        return sum(chains) + units
+    best = [sum(chains) + units]  # serial chain is always feasible
+    levels = [0] * width
+    nodes = [0]
+
+    def recurse(index: int, used_bins: int) -> None:
+        nodes[0] += 1
+        if nodes[0] > max_nodes:
+            raise ReproError(
+                f"exact wrapper design exceeded {max_nodes} nodes for "
+                f"{model.name} at width {width}")
+        if max(levels) >= best[0]:
+            return  # already no better than the incumbent
+        if index == len(chains):
+            best[0] = min(best[0], waterfill_max(levels, units, width))
+            return
+        # A chain may open at most one new (empty) bin: empty bins are
+        # interchangeable, so trying more than the first is symmetric.
+        limit = min(used_bins + 1, width)
+        for bin_index in range(limit):
+            levels[bin_index] += chains[index]
+            recurse(index + 1,
+                    used_bins + (1 if bin_index == used_bins else 0))
+            levels[bin_index] -= chains[index]
+
+    recurse(0, 0)
+    return best[0]
+
+
+def exact_schedule(models: Sequence[DieTestModel], budget: int,
+                   max_nodes: int = MAX_PACK_NODES) -> Schedule:
+    """The minimum-makespan schedule, exhaustively.
+
+    Deterministic: fixed die order, fixed corner/lane/start iteration,
+    strict-improvement incumbent updates — so two runs return the
+    byte-identical schedule, and when the heuristic is already optimal
+    the heuristic's own placements are returned.
+    """
+    if budget < 1:
+        raise ConfigError(f"TAM budget must be >= 1, got {budget}")
+    if len(models) > MAX_ORACLE_DIES:
+        raise ReproError(f"exact_schedule is for <= {MAX_ORACLE_DIES} "
+                         f"dies, got {len(models)}")
+    incumbent = best_fit_schedule(models, budget)
+    if not models:
+        return incumbent
+    entries = sorted(
+        [(m.name, candidate_points(m, budget)) for m in models],
+        key=lambda e: (-e[1][-1].time, e[0]))
+    min_area = [min(p.used_width * p.time for p in points)
+                for _name, points in entries]
+    min_time = [min(p.time for p in points) for _name, points in entries]
+    best = [incumbent.makespan, incumbent.placements]
+    placements: List[Placement] = []
+    nodes = [0]
+
+    def overlaps(lane: int, width: int, start: int, time: int) -> bool:
+        for p in placements:
+            if (lane < p.lane + p.width and p.lane < lane + width
+                    and start < p.end and p.start < start + time):
+                return True
+        return False
+
+    def recurse(remaining: Tuple[int, ...], last_start: int,
+                last_entry: int, makespan: int, area: int) -> None:
+        nodes[0] += 1
+        if nodes[0] > max_nodes:
+            raise ReproError(
+                f"exact schedule exceeded {max_nodes} nodes for "
+                f"{len(entries)} dies, budget {budget}")
+        if not remaining:
+            if makespan < best[0]:
+                best[0] = makespan
+                best[1] = tuple(placements)
+            return
+        rem_area = sum(min_area[i] for i in remaining)
+        bound = max(makespan,
+                    -(-(area + rem_area) // budget),
+                    max(min_time[i] for i in remaining))
+        if bound >= best[0]:
+            return
+        starts = sorted({0} | {p.end for p in placements})
+        for position, index in enumerate(remaining):
+            # Equal-start symmetry: among rectangles sharing a start,
+            # only enumerate them in entry order once.
+            name, points = entries[index]
+            rest = remaining[:position] + remaining[position + 1:]
+            for point in points:
+                width = point.used_width
+                for start in starts:
+                    if start < last_start:
+                        continue
+                    if start == last_start and index < last_entry:
+                        continue
+                    if start + point.time >= best[0]:
+                        continue  # cannot strictly improve
+                    for lane in range(budget - width + 1):
+                        if start > 0 and not any(
+                                p.end == start
+                                and lane < p.lane + p.width
+                                and p.lane < lane + width
+                                for p in placements):
+                            continue  # not left-shift normalized
+                        if overlaps(lane, width, start, point.time):
+                            continue
+                        placements.append(Placement(
+                            die=name, width=width, lane=lane,
+                            start=start, time=point.time))
+                        recurse(rest, start, index,
+                                max(makespan, start + point.time),
+                                area + width * point.time)
+                        placements.pop()
+
+    recurse(tuple(range(len(entries))), 0, -1, 0, 0)
+    return Schedule(budget=budget, placements=best[1])

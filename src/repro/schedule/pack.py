@@ -1,0 +1,190 @@
+"""Pre-bond session scheduling: pack (width x time) rectangles.
+
+Each die contributes the Pareto corners of its wrapper staircase
+(:func:`repro.schedule.chains.pareto_points`); the packer picks ONE
+corner per die and places it as a rectangle — ``width`` contiguous TAM
+lanes for ``time`` cycles — inside the stack's TAM budget, minimizing
+the session makespan. This is 2D strip packing with selectable
+rectangle heights, the NP-hard core of the TAM-optimization papers;
+the production path is a deterministic best-fit skyline heuristic and
+``repro.schedule.oracle.exact_schedule`` is its exhaustive
+differential oracle on small stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.schedule.chains import (
+    DieTestModel,
+    WidthTimePoint,
+    pareto_points,
+    staircase,
+)
+from repro.util.errors import ConfigError
+from repro.util.fingerprint import fingerprint
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One die's scheduled rectangle: lanes ``[lane, lane+width)`` for
+    cycles ``[start, end)``."""
+
+    die: str
+    width: int
+    lane: int
+    start: int
+    time: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.time
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete pre-bond session for one stack."""
+
+    budget: int
+    placements: Tuple[Placement, ...]
+
+    @property
+    def makespan(self) -> int:
+        return max((p.end for p in self.placements), default=0)
+
+    @property
+    def utilization(self) -> float:
+        """Busy lane-cycles over the session's bounding box."""
+        box = self.budget * self.makespan
+        if box == 0:
+            return 0.0
+        return sum(p.width * p.time for p in self.placements) / box
+
+    def payload(self) -> Dict[str, object]:
+        """Canonical JSON-able content (fingerprints, manifests)."""
+        return {
+            "budget": self.budget,
+            "makespan": self.makespan,
+            "placements": [
+                {"die": p.die, "width": p.width, "lane": p.lane,
+                 "start": p.start, "time": p.time}
+                for p in sorted(self.placements, key=lambda p: p.die)
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        return fingerprint(self.payload())
+
+
+def candidate_points(model: DieTestModel, budget: int
+                     ) -> Tuple[WidthTimePoint, ...]:
+    """The die's packable configurations: staircase corners at widths
+    the budget admits. Never empty — width 1 always exists."""
+    if budget < 1:
+        raise ConfigError(f"TAM budget must be >= 1, got {budget}")
+    return pareto_points(staircase(model, budget))
+
+
+def _occupy(free: List[int], lane: int, width: int, finish: int) -> None:
+    """Raise the skyline over ``[lane, lane+width)`` to *finish*.
+
+    Module-level seam for the ``schedule-pack-overlap`` mutant: a
+    packer that forgets to claim its lanes schedules every die on top
+    of the others, and the validity check must catch it.
+    """
+    for index in range(lane, lane + width):
+        free[index] = finish
+
+
+def _pack_order(entries: Sequence[Tuple[str, Tuple[WidthTimePoint, ...]]]
+                ) -> List[Tuple[str, Tuple[WidthTimePoint, ...]]]:
+    """Longest-processing-time order: dies descending by their best
+    (widest-corner) time, name-tie-broken — the classic LPT opening
+    for makespan heuristics, and deterministic."""
+    return sorted(entries, key=lambda e: (-e[1][-1].time, e[0]))
+
+
+def best_fit_schedule(models: Sequence[DieTestModel], budget: int
+                      ) -> Schedule:
+    """Deterministic best-fit skyline packing.
+
+    Dies are visited in LPT order; each die tries every staircase
+    corner at every lane offset and takes the placement finishing
+    earliest (ties: earlier start, narrower width, lower lane). The
+    skyline ``free[lane]`` tracks when each TAM lane frees up, so a
+    candidate's start is the max over its lane span.
+    """
+    if budget < 1:
+        raise ConfigError(f"TAM budget must be >= 1, got {budget}")
+    names = [m.name for m in models]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate die names in schedule: {names}")
+    entries = [(m.name, candidate_points(m, budget)) for m in models]
+    free = [0] * budget
+    placements: List[Placement] = []
+    for name, points in _pack_order(entries):
+        best = None
+        best_key = None
+        for point in points:
+            width = point.used_width
+            for lane in range(budget - width + 1):
+                start = max(free[lane:lane + width])
+                key = (start + point.time, start, width, lane)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = Placement(die=name, width=width, lane=lane,
+                                     start=start, time=point.time)
+        assert best is not None  # points is never empty
+        placements.append(best)
+        _occupy(free, best.lane, best.width, best.end)
+    return Schedule(budget=budget, placements=tuple(placements))
+
+
+def schedule_violations(schedule: Schedule,
+                        models: Sequence[DieTestModel],
+                        budget: int) -> List[str]:
+    """Validity oracle for any schedule, heuristic or exact.
+
+    Checks: every die placed exactly once, rectangles inside the lane
+    budget, no two placements overlap in (lanes x time), every
+    placement's time is achievable by the wrapper designer at its
+    width, and the payload's recorded makespan is the max rectangle
+    end.
+    """
+    out: List[str] = []
+    by_name = {m.name: m for m in models}
+    placed = [p.die for p in schedule.placements]
+    if sorted(placed) != sorted(by_name):
+        out.append(f"die set mismatch: placed {sorted(placed)} vs "
+                   f"models {sorted(by_name)}")
+        return out
+    if schedule.budget != budget:
+        out.append(f"schedule budget {schedule.budget} != {budget}")
+    for p in schedule.placements:
+        if p.width < 1 or p.lane < 0 or p.lane + p.width > budget:
+            out.append(f"{p.die}: lanes [{p.lane}, {p.lane + p.width}) "
+                       f"outside budget {budget}")
+        if p.start < 0:
+            out.append(f"{p.die}: negative start {p.start}")
+        model = by_name[p.die]
+        if p.width >= 1:
+            achievable = staircase(model, p.width)[-1].time
+            if p.time != achievable:
+                out.append(f"{p.die}: time {p.time} at width {p.width} "
+                           f"!= designed {achievable}")
+    for i, a in enumerate(schedule.placements):
+        for b in schedule.placements[i + 1:]:
+            lanes_meet = (a.lane < b.lane + b.width
+                          and b.lane < a.lane + a.width)
+            times_meet = a.start < b.end and b.start < a.end
+            if lanes_meet and times_meet:
+                out.append(f"overlap: {a.die} lanes [{a.lane},"
+                           f"{a.lane + a.width}) x [{a.start},{a.end}) vs "
+                           f"{b.die} lanes [{b.lane},{b.lane + b.width}) "
+                           f"x [{b.start},{b.end})")
+    recorded = schedule.payload()["makespan"]
+    expected = max((p.end for p in schedule.placements), default=0)
+    if recorded != expected:
+        out.append(f"makespan {recorded} != max rectangle end {expected}")
+    return out

@@ -527,6 +527,107 @@ def check_eco(subject: Subject) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Wrapper/TAM scheduling: designer and packer vs exhaustive oracles
+# ---------------------------------------------------------------------------
+def check_schedule(subject: Subject) -> List[str]:
+    """Wrapper-chain designer and session packer vs their exhaustive
+    oracles, on test models derived from the subject's own flow run.
+
+    Per width 1..3: the greedy designer's chains must partition every
+    internal chain and wrapper cell exactly once, never beat the
+    exhaustive optimum, and stay within Graham's LPT bound
+    (``3*kernel <= 4*exact``); the staircase must be monotone
+    non-increasing in width; and the reduced wrapper (<= the dedicated
+    cell count) must never test slower than the dedicated one at equal
+    width — the metamorphic heart of the paper's claim. The best-fit
+    packer's schedule must validate, and the branch-and-bound
+    ``exact_schedule`` must validate too while never losing to the
+    heuristic."""
+    from repro.core.flow import run_wcm_flow
+    from repro.dft.wrapper import dedicated_plan
+    from repro.schedule import (DieTestModel, balanced_chain_lengths,
+                                best_fit_schedule, design_wrapper,
+                                internal_chain_count, staircase)
+    from repro.verify.oracles import (exact_schedule,
+                                      exact_wrapper_max_length,
+                                      schedule_violations)
+
+    out: List[str] = []
+    spec = subject.spec
+    patterns = 8 + spec.gates % 24  # deterministic, small
+    ffs = len(list(subject.problem.scan_ffs))
+    internal = (balanced_chain_lengths(ffs, internal_chain_count(ffs))
+                if ffs else (1,))
+    run = run_wcm_flow(subject.problem, subject.config)
+    reduced_cells = run.plan.additional_wrapper_cells
+    dedicated_cells = dedicated_plan(subject.problem.netlist
+                                     ).wrapped_tsv_count
+    reduced = DieTestModel(f"{spec.slug()}_reduced", internal,
+                           reduced_cells, patterns)
+    dedicated = DieTestModel(f"{spec.slug()}_dedicated", internal,
+                             dedicated_cells, patterns)
+
+    previous = {reduced.name: None, dedicated.name: None}
+    for width in (1, 2, 3):
+        for model in (reduced, dedicated):
+            plan = design_wrapper(model, width)
+            placed = sorted(e for chain in plan.chains for e in chain)
+            want = sorted([f"ic{i}" for i in
+                           range(len(model.internal_chains))]
+                          + [f"wc{i}" for i in
+                             range(model.wrapper_cells)])
+            if placed != want:
+                out.append(f"schedule[design][{model.name}][w{width}]: "
+                           f"chains do not partition the elements "
+                           f"({len(placed)} placed vs {len(want)})")
+            exact = exact_wrapper_max_length(model, width)
+            if plan.max_length < exact:
+                out.append(f"schedule[design][{model.name}][w{width}]: "
+                           f"greedy max {plan.max_length} beats the "
+                           f"exhaustive optimum {exact}")
+            if 3 * plan.max_length > 4 * exact:
+                out.append(f"schedule[design][{model.name}][w{width}]: "
+                           f"greedy max {plan.max_length} outside the "
+                           f"LPT bound of optimum {exact}")
+            time = staircase(model, width)[-1].time
+            if previous[model.name] is not None \
+                    and time > previous[model.name]:
+                out.append(f"schedule[staircase][{model.name}]: time "
+                           f"rose {previous[model.name]} -> {time} at "
+                           f"width {width}")
+            previous[model.name] = time
+        if staircase(reduced, width)[-1].time \
+                > staircase(dedicated, width)[-1].time:
+            out.append(f"schedule[meta][w{width}]: reduced wrapper "
+                       f"({reduced.wrapper_cells} cells) tests slower "
+                       f"than dedicated ({dedicated.wrapper_cells})")
+
+    third = DieTestModel(f"{spec.slug()}_shifted", internal,
+                         reduced_cells, patterns + 3)
+    models = [reduced, dedicated, third]
+    budget = 3
+    heuristic = best_fit_schedule(models, budget)
+    for problem in schedule_violations(heuristic, models, budget):
+        out.append(f"schedule[pack]: {problem}")
+    if heuristic.fingerprint() != best_fit_schedule(models,
+                                                    budget).fingerprint():
+        out.append("schedule[pack]: best-fit schedule is not "
+                   "deterministic across two runs")
+    exact = exact_schedule(models, budget)
+    for problem in schedule_violations(exact, models, budget):
+        out.append(f"schedule[oracle]: {problem}")
+    if exact.makespan > heuristic.makespan:
+        out.append(f"schedule[oracle]: exhaustive makespan "
+                   f"{exact.makespan} worse than best-fit "
+                   f"{heuristic.makespan}")
+    if heuristic.makespan > 3 * exact.makespan:
+        out.append(f"schedule[pack]: best-fit makespan "
+                   f"{heuristic.makespan} more than 3x the optimum "
+                   f"{exact.makespan}")
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 CHECKS: Dict[str, Callable[[Subject], List[str]]] = {
@@ -540,6 +641,7 @@ CHECKS: Dict[str, Callable[[Subject], List[str]]] = {
     "meta-thresholds": check_metamorphic_thresholds,
     "meta-isolated-ff": check_metamorphic_isolated_ff,
     "eco": check_eco,
+    "schedule": check_schedule,
 }
 
 

@@ -187,6 +187,7 @@ def _checks_of(divergences: List[str]) -> List[str]:
                              ("meta-thresholds", "meta[thresholds"),
                              ("meta-isolated-ff", "meta[isolated"),
                              ("eco", "eco"),
+                             ("schedule", "schedule"),
                              ("sim", "build")):
             if line.startswith(prefix):
                 if name not in out:

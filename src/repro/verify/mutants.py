@@ -105,6 +105,61 @@ def _mutant_cone_bitset_alias() -> Iterator[None]:
         graph._cone_bitsets = original
 
 
+@contextlib.contextmanager
+def _mutant_schedule_chain_drop() -> Iterator[None]:
+    """The wrapper-chain designer loses the last wrapper cell: the
+    chains no longer partition the cell set, so the die under-tests."""
+    from repro.schedule import chains
+
+    original = chains._unit_ids
+
+    def dropped(model):
+        return original(model)[:-1]
+
+    chains._unit_ids = dropped
+    try:
+        yield
+    finally:
+        chains._unit_ids = original
+
+
+@contextlib.contextmanager
+def _mutant_schedule_pack_overlap() -> Iterator[None]:
+    """The best-fit packer never claims its lanes: every die lands at
+    cycle 0 and the session rectangles overlap."""
+    from repro.schedule import pack
+
+    original = pack._occupy
+
+    def leaky(free, lane, width, finish) -> None:  # noqa: ARG001
+        return None
+
+    pack._occupy = leaky
+    try:
+        yield
+    finally:
+        pack._occupy = original
+
+
+@contextlib.contextmanager
+def _mutant_schedule_fill_longest() -> Iterator[None]:
+    """The designer fills the *most* loaded chain instead of the
+    least: every element stacks onto one chain, blowing the LPT bound
+    against the exhaustive optimum."""
+    from repro.schedule import chains
+
+    original = chains._fill_target
+
+    def longest(loads):
+        return max(range(len(loads)), key=lambda i: (loads[i], -i))
+
+    chains._fill_target = longest
+    try:
+        yield
+    finally:
+        chains._fill_target = original
+
+
 #: name -> (description, contextmanager factory)
 MUTANTS: Dict[str, tuple] = {
     "sim-opcode-swap": ("op-tape compiles AND2 as OR2",
@@ -117,6 +172,12 @@ MUTANTS: Dict[str, tuple] = {
                         _mutant_obs_branch_dead),
     "cone-bitset-alias": ("cone bitsets share a phantom overlap bit",
                           _mutant_cone_bitset_alias),
+    "schedule-chain-drop": ("wrapper designer drops the last cell",
+                            _mutant_schedule_chain_drop),
+    "schedule-pack-overlap": ("packer never raises the skyline",
+                              _mutant_schedule_pack_overlap),
+    "schedule-fill-longest": ("designer fills the most loaded chain",
+                              _mutant_schedule_fill_longest),
 }
 
 

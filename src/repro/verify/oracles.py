@@ -731,3 +731,17 @@ def partition_violations(graph: WcmGraph, partition, max_group_size: int
     if missing_ffs:
         problems.append(f"FF nodes not covered: {sorted(missing_ffs)}")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Scheduling oracles (re-exported): the exhaustive wrapper-chain
+# designer and the branch-and-bound session packer live next to the
+# heuristics they check, but they belong to this registry — the fuzzer
+# and the mutation-kill harness reach them from here.
+# ---------------------------------------------------------------------------
+from repro.schedule.oracle import (  # noqa: E402  (re-export)
+    exact_schedule,
+    exact_wrapper_max_length,
+    waterfill_max,
+)
+from repro.schedule.pack import schedule_violations  # noqa: E402

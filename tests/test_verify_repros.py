@@ -43,6 +43,13 @@ def test_corpus_covers_degenerate_corners():
                for s in specs), "no d_th-boundary grid repro"
     assert any(s.family == "ring" for s in specs), \
         "no degenerate-ring repro"
+    # Scheduling corners (promoted with the schedule check): a single
+    # internal chain buried under TSV wrapper cells, and a coincident
+    # FF-rich die whose reduced wrapper collapses to almost no cells.
+    assert any(s.ffs == 1 and s.tsv_in + s.tsv_out >= 12
+               for s in specs), "no single-chain TSV-heavy repro"
+    assert any(s.coincident and s.ffs >= 6 for s in specs), \
+        "no coincident FF-rich repro"
 
 
 @pytest.mark.parametrize("backend", ["python", "numpy"])
